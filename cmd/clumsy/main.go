@@ -1,0 +1,458 @@
+// Command clumsy regenerates the tables and figures of "A Case for Clumsy
+// Packet Processors" (Mallik & Memik, MICRO-37 2004) from the Go
+// reproduction, and runs individual simulations.
+//
+// Usage:
+//
+//	clumsy <experiment> [flags]
+//
+// Experiments: table1, fig1b, fig2b, fig3, fig4, fig5, fig6, fig7, fig8,
+// fig9, fig10, fig11, fig12, all, run, list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clumsy/internal/apps"
+	"clumsy/internal/cache"
+	"clumsy/internal/clumsy"
+	"clumsy/internal/experiment"
+	"clumsy/internal/metrics"
+	"clumsy/internal/packet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clumsy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		usage(w)
+		return fmt.Errorf("missing experiment name")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	packets := fs.Int("packets", 0, "packets per run (0 = default)")
+	trials := fs.Int("trials", 0, "trials per configuration (0 = default)")
+	scale := fs.Float64("scale", 0, "fault-rate multiplier (0 = default 1)")
+	seed := fs.Uint64("seed", 0, "experiment seed (0 = default)")
+	appName := fs.String("app", "route", "application for run/fig6-style experiments")
+	cr := fs.Float64("cr", 1, "relative cycle time for run")
+	dynamic := fs.Bool("dynamic", false, "use the dynamic frequency controller for run")
+	parity := fs.Bool("parity", false, "enable parity detection for run")
+	strikes := fs.Int("strikes", 1, "recovery strikes under parity for run")
+	format := fs.String("format", "text", "output format: text or csv")
+	out := fs.String("out", "", "write binary output to this file (trace command)")
+	tracePath := fs.String("trace", "", "replay a binary trace file instead of generating (run command)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	emitTable := func(t *experiment.Table) error {
+		if *format == "csv" {
+			return t.RenderCSV(w)
+		}
+		t.Render(w)
+		return nil
+	}
+	emitFigure := func(f *experiment.Figure) error {
+		if *format == "csv" {
+			return f.RenderCSV(w)
+		}
+		f.Render(w)
+		return nil
+	}
+	opt := experiment.Options{
+		Packets: *packets, Trials: *trials, FaultScale: *scale, Seed: *seed,
+	}
+
+	switch cmd {
+	case "list":
+		usage(w)
+		return nil
+	case "fig1b":
+		return emitFigure(experiment.Fig1b())
+	case "fig2b":
+		return emitFigure(experiment.Fig2b())
+	case "fig3":
+		return emitFigure(experiment.Fig3())
+	case "fig4":
+		return emitFigure(experiment.Fig4())
+	case "fig5":
+		return emitFigure(experiment.Fig5())
+	case "table1":
+		rows, err := experiment.Table1(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.Table1Render(rows, opt))
+	case "fig6", "fig7":
+		// Figure 6 studies route, Figure 7 studies nat; -app overrides.
+		app := *appName
+		if app == "route" && cmd == "fig7" {
+			app = "nat"
+		}
+		sweeps, err := experiment.ErrorBehaviour(app, opt)
+		if err != nil {
+			return err
+		}
+		label := map[string]string{"fig6": "Figure 6", "fig7": "Figure 7"}[cmd]
+		for _, t := range experiment.ErrorBehaviourRender(sweeps, label, opt) {
+			if err := emitTable(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	case "fig8":
+		rows, err := experiment.Fig8(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.Fig8Render(rows, opt))
+	case "fig9", "fig10", "fig11", "fig12":
+		pairs := map[string][]string{
+			"fig9":  {"route", "crc"},
+			"fig10": {"md5", "tl"},
+			"fig11": {"drr", "nat"},
+			"fig12": {"url", "average"},
+		}[cmd]
+		for i, app := range pairs {
+			panel := fmt.Sprintf("Figure %s(%c)", cmd[3:], 'a'+i)
+			var r *experiment.EDFResult
+			var err error
+			if app == "average" {
+				var all []*experiment.EDFResult
+				for _, name := range apps.Names() {
+					g, err := experiment.EDFGrid(name, opt)
+					if err != nil {
+						return err
+					}
+					all = append(all, g)
+				}
+				r = experiment.EDFAverage(all)
+			} else {
+				r, err = experiment.EDFGrid(app, opt)
+				if err != nil {
+					return err
+				}
+			}
+			if err := emitTable(experiment.EDFRender(r, panel, opt)); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	case "ecc":
+		cells, err := experiment.ExtDetection(*appName, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.ExtDetectionRender(*appName, cells, opt))
+	case "subblock":
+		cells, err := experiment.ExtSubBlock(*appName, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.ExtSubBlockRender(*appName, cells, opt))
+	case "exponents":
+		rows, err := experiment.ExtExponents(*appName, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.ExtExponentsRender(*appName, rows, opt))
+	case "dvs":
+		rows, err := experiment.ExtDVS(*appName, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.ExtDVSRender(*appName, rows, opt))
+	case "geometry":
+		cells, err := experiment.ExtGeometry(*appName, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.ExtGeometryRender(*appName, cells, opt))
+	case "media":
+		// The paper notes its ideas apply "to any type of processor that
+		// executes applications with fault resiliency (e.g., media
+		// processors)"; this grid runs the IMA ADPCM extension workload.
+		r, err := experiment.EDFGrid("adpcm", opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.EDFRender(r, "Extension: media processor (adpcm)", opt))
+	case "tuning":
+		cells, err := experiment.ExtTuning(*appName, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.ExtTuningRender(*appName, cells, opt))
+	case "extensions":
+		for _, sub := range []string{"ecc", "subblock", "exponents", "dvs", "geometry", "tuning", "media"} {
+			if err := run(append([]string{sub}, rest...), w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	case "trace":
+		return dumpTrace(w, *appName, max(*packets, 20), max64(*seed, 1), *out)
+	case "verify":
+		claims, err := experiment.VerifyClaims(opt)
+		if err != nil {
+			return err
+		}
+		if err := emitTable(experiment.VerifyRender(claims, opt)); err != nil {
+			return err
+		}
+		for _, c := range claims {
+			if !c.Pass {
+				return fmt.Errorf("claim %q failed", c.Name)
+			}
+		}
+	case "all":
+		return allExperiments(opt, w)
+	case "run":
+		return single(w, clumsy.Config{
+			App:        *appName,
+			Packets:    max(*packets, 1000),
+			Seed:       max64(*seed, 1),
+			CycleTime:  *cr,
+			Dynamic:    *dynamic,
+			Detection:  detectionOf(*parity),
+			Strikes:    *strikes,
+			FaultScale: maxf(*scale, 1),
+		}, *tracePath)
+	default:
+		usage(w)
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return nil
+}
+
+func detectionOf(parity bool) cache.Detection {
+	if parity {
+		return cache.DetectionParity
+	}
+	return cache.DetectionNone
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// dumpTrace generates an application's workload and either writes it as a
+// binary trace file or prints a human-readable summary.
+func dumpTrace(w io.Writer, appName string, packets int, seed uint64, out string) error {
+	app, err := apps.New(appName)
+	if err != nil {
+		return err
+	}
+	tr, err := packet.Generate(app.TraceConfig(packets, seed))
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.Serialize(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d packets to %s\n", len(tr.Packets), out)
+		return nil
+	}
+	fmt.Fprintf(w, "# %s workload, %d packets, seed %d\n", appName, packets, seed)
+	fmt.Fprintf(w, "%-5s %-17s %-17s %-5s %-4s %-5s %s\n", "idx", "src", "dst", "proto", "ttl", "len", "payload")
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		preview := ""
+		for _, b := range p.Payload {
+			if len(preview) >= 24 {
+				break
+			}
+			if b >= 0x20 && b < 0x7f {
+				preview += string(rune(b))
+			} else {
+				preview += "."
+			}
+		}
+		fmt.Fprintf(w, "%-5d %-17s %-17s %-5d %-4d %-5d %q\n",
+			i, ipString(p.Src), ipString(p.Dst), p.Proto, p.TTL, len(p.Payload), preview)
+	}
+	return nil
+}
+
+func ipString(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", a>>24, a>>16&0xff, a>>8&0xff, a&0xff)
+}
+
+// single runs one configuration and prints its full report. If tracePath
+// is non-empty, the stored trace is replayed instead of generating one.
+func single(w io.Writer, cfg clumsy.Config, tracePath string) error {
+	var res *clumsy.Result
+	var err error
+	if tracePath != "" {
+		f, ferr := os.Open(tracePath)
+		if ferr != nil {
+			return ferr
+		}
+		tr, terr := packet.ReadTrace(f)
+		f.Close()
+		if terr != nil {
+			return terr
+		}
+		res, err = clumsy.RunWithTrace(cfg, tr)
+	} else {
+		res, err = clumsy.Run(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	e := metrics.DefaultExponents()
+	fmt.Fprintf(w, "app %s  Cr=%g dynamic=%v detection=%v strikes=%d scale=%g\n",
+		cfg.App, cfg.CycleTime, cfg.Dynamic, cfg.Detection, cfg.Strikes, cfg.FaultScale)
+	fmt.Fprintf(w, "golden: %d instrs, %.0f cycles, %.1f cycles/packet, %.4g J\n",
+		res.GoldenInstrs, res.GoldenCycles, res.GoldenDelay, res.GoldenEnergy.Total())
+	fmt.Fprintf(w, "clumsy: %d instrs, %.0f cycles, %.1f cycles/packet, %.4g J\n",
+		res.Instrs, res.Cycles, res.Delay, res.Energy.Total())
+	fmt.Fprintf(w, "packets: %d/%d processed, fallibility %.4f, fatal %v\n",
+		res.Report.Processed, res.Report.GoldenPackets, res.Fallibility(), res.Report.Fatal)
+	fmt.Fprintf(w, "faults: %d read, %d write; parity errors %d, retries %d, recoveries %d\n",
+		res.Recovery.FaultsOnRead, res.Recovery.FaultsOnWrite,
+		res.Recovery.ParityErrors, res.Recovery.Retries, res.Recovery.Recoveries)
+	fmt.Fprintf(w, "L1D: %d accesses, %.2f%% miss rate\n",
+		res.L1DStats.Accesses(), res.L1DStats.MissRate()*100)
+	if res.LevelPackets != nil {
+		fmt.Fprintf(w, "dynamic: %d switches, packets per level %v\n", res.Switches, res.LevelPackets)
+		for _, ev := range res.Timeline {
+			fmt.Fprintf(w, "  packet %6d -> Cr = %g\n", ev.Packet, ev.CycleTime)
+		}
+	}
+	fmt.Fprintf(w, "energy-delay^2-fallibility^2: %.4g (golden %.4g, ratio %.3f)\n",
+		res.EDF(e), res.GoldenEDF(e), res.EDF(e)/res.GoldenEDF(e))
+	for _, name := range res.Report.StructureNames() {
+		if p := res.Report.ErrorProbability(name); p > 0 {
+			fmt.Fprintf(w, "  error[%s] = %.5f\n", name, p)
+		}
+	}
+	return nil
+}
+
+func allExperiments(opt experiment.Options, w io.Writer) error {
+	for _, f := range []*experiment.Figure{
+		experiment.Fig1b(), experiment.Fig2b(), experiment.Fig3(),
+		experiment.Fig4(), experiment.Fig5(),
+	} {
+		f.Render(w)
+		fmt.Fprintln(w)
+	}
+	rows, err := experiment.Table1(opt)
+	if err != nil {
+		return err
+	}
+	experiment.Table1Render(rows, opt).Render(w)
+	fmt.Fprintln(w)
+	for _, app := range []string{"route", "nat"} {
+		label := "Figure 6"
+		if app == "nat" {
+			label = "Figure 7"
+		}
+		sweeps, err := experiment.ErrorBehaviour(app, opt)
+		if err != nil {
+			return err
+		}
+		for _, t := range experiment.ErrorBehaviourRender(sweeps, label, opt) {
+			t.Render(w)
+			fmt.Fprintln(w)
+		}
+	}
+	fatal, err := experiment.Fig8(opt)
+	if err != nil {
+		return err
+	}
+	experiment.Fig8Render(fatal, opt).Render(w)
+	fmt.Fprintln(w)
+	results, err := experiment.AllEDF(opt)
+	if err != nil {
+		return err
+	}
+	panels := []string{"Figure 9(a)", "Figure 9(b)", "Figure 10(a)", "Figure 10(b)",
+		"Figure 11(a)", "Figure 11(b)", "Figure 12(a)", "Figure 12(b)"}
+	order := map[string]int{"route": 0, "crc": 1, "md5": 2, "tl": 3, "drr": 4, "nat": 5, "url": 6, "average": 7}
+	for _, r := range results {
+		idx, ok := order[r.App]
+		if !ok {
+			continue
+		}
+		experiment.EDFRender(r, panels[idx], opt).Render(w)
+		fmt.Fprintln(w)
+	}
+	// Close the campaign with the programmatic claims verdict.
+	claims, err := experiment.VerifyClaims(opt)
+	if err != nil {
+		return err
+	}
+	experiment.VerifyRender(claims, opt).Render(w)
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: clumsy <experiment> [flags]
+
+experiments:
+  fig1b   voltage swing vs cycle time (circuit model)
+  fig2b   SRAM noise-immunity curves
+  fig3    switching-combination noise distribution
+  fig4    fault probability vs voltage swing
+  fig5    fault probability vs cycle time + fitted formula (Eq. 4)
+  table1  application properties and fallibility factors
+  fig6    route error probabilities (control/data/both planes)
+  fig7    nat error probabilities (control/data/both planes)
+  fig8    fatal error probabilities per application
+  fig9    EDF^2 panels: route, crc
+  fig10   EDF^2 panels: md5, tl
+  fig11   EDF^2 panels: drr, nat
+  fig12   EDF^2 panels: url, average of all applications
+  all     everything above in paper order
+  verify  check the paper's headline claims programmatically (exit 1 on failure)
+  run     one simulation (-app -cr -dynamic -parity -strikes -scale [-trace f])
+  trace   dump an application's workload (-app -packets -seed [-out file])
+  list    this text
+
+extensions (beyond the paper's evaluation; -app selects the workload):
+  ecc        SEC-DED error correction vs parity vs no detection
+  subblock   sub-block (per-word) recovery vs full-line invalidation
+  exponents  sensitivity of the winner to the EDF metric weights
+  dvs        conventional voltage scaling vs clumsy over-clocking
+  geometry   L1 data cache size ablation
+  tuning     dynamic-controller threshold study (the paper's X1/X2 choice)
+  media      the claim beyond networking: EDF grid for an IMA ADPCM codec
+  extensions all seven extension studies
+
+common flags: -packets N  -trials N  -scale X  -seed N  -format text|csv
+`)
+}

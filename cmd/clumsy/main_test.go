@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"clumsy/internal/packet"
+)
+
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestNoArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing experiment should error")
+	}
+	if !strings.Contains(buf.String(), "usage:") {
+		t.Fatal("usage not printed")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"figZZ"}, &buf); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestList(t *testing.T) {
+	out := capture(t, "list")
+	for _, frag := range []string{"table1", "fig12", "run"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("list output missing %q", frag)
+		}
+	}
+}
+
+func TestCircuitFigures(t *testing.T) {
+	cases := map[string]string{
+		"fig1b": "voltage swing",
+		"fig2b": "noise immunity",
+		"fig3":  "switching combinations",
+		"fig4":  "fault at various voltage levels",
+		"fig5":  "different cycle times",
+	}
+	for cmd, frag := range cases {
+		out := capture(t, cmd)
+		if !strings.Contains(out, frag) {
+			t.Errorf("%s output missing %q", cmd, frag)
+		}
+	}
+}
+
+func TestTable1Command(t *testing.T) {
+	out := capture(t, "table1", "-packets", "150", "-trials", "1")
+	for _, frag := range []string{"Table I", "md5", "Fallibility"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table1 output missing %q", frag)
+		}
+	}
+}
+
+func TestFig6And7Commands(t *testing.T) {
+	out := capture(t, "fig6", "-packets", "100", "-trials", "1")
+	if !strings.Contains(out, "route") || !strings.Contains(out, "control plane") {
+		t.Error("fig6 should sweep route over planes")
+	}
+	out = capture(t, "fig7", "-packets", "100", "-trials", "1")
+	if !strings.Contains(out, "nat") {
+		t.Error("fig7 should study nat")
+	}
+}
+
+func TestFig8Command(t *testing.T) {
+	out := capture(t, "fig8", "-packets", "100", "-trials", "1")
+	if !strings.Contains(out, "fatal error probabilities") || !strings.Contains(out, "avrg") {
+		t.Error("fig8 output malformed")
+	}
+}
+
+func TestFig9Command(t *testing.T) {
+	out := capture(t, "fig9", "-packets", "100", "-trials", "1")
+	if !strings.Contains(out, "Figure 9(a)") || !strings.Contains(out, "Figure 9(b)") {
+		t.Error("fig9 should render two panels")
+	}
+	if !strings.Contains(out, "two strikes") {
+		t.Error("fig9 missing recovery schemes")
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	out := capture(t, "run", "-app", "route", "-cr", "0.5", "-parity", "-strikes", "2", "-packets", "1000")
+	for _, frag := range []string{"golden:", "clumsy:", "fallibility", "energy-delay^2-fallibility^2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("run output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunDynamic(t *testing.T) {
+	out := capture(t, "run", "-app", "crc", "-dynamic", "-parity", "-strikes", "3", "-packets", "1000")
+	if !strings.Contains(out, "dynamic:") {
+		t.Errorf("dynamic run should report level usage:\n%s", out)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"run", "-app", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	out := capture(t, "trace", "-app", "url", "-packets", "25", "-seed", "3")
+	if !strings.Contains(out, "url workload") || !strings.Contains(out, "GET /") {
+		t.Fatalf("trace output malformed:\n%s", out)
+	}
+}
+
+func TestTraceCommandBinaryOut(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.bin"
+	out := capture(t, "trace", "-app", "route", "-packets", "30", "-out", path)
+	if !strings.Contains(out, "wrote 30 packets") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := packet.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 30 {
+		t.Fatalf("read back %d packets", len(tr.Packets))
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out := capture(t, "fig1b", "-format", "csv")
+	if !strings.HasPrefix(out, "series,Cr,Vsr") {
+		t.Fatalf("csv header missing:\n%s", out[:40])
+	}
+	out = capture(t, "table1", "-packets", "120", "-trials", "1", "-format", "csv")
+	if !strings.HasPrefix(out, "App,") {
+		t.Fatalf("table csv header missing:\n%s", out[:40])
+	}
+}
+
+func TestExtensionCommands(t *testing.T) {
+	for cmd, frag := range map[string]string{
+		"ecc":       "detection schemes",
+		"subblock":  "sub-block recovery",
+		"exponents": "metric-weighting",
+		"dvs":       "DVS vs clumsy",
+	} {
+		out := capture(t, cmd, "-app", "route", "-packets", "120", "-trials", "1")
+		if !strings.Contains(out, frag) {
+			t.Errorf("%s output missing %q", cmd, frag)
+		}
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.bin"
+	capture(t, "trace", "-app", "route", "-packets", "200", "-out", path)
+	out := capture(t, "run", "-app", "route", "-cr", "0.5", "-parity", "-strikes", "2", "-trace", path)
+	if !strings.Contains(out, "packets: 200/200 processed") {
+		t.Fatalf("replayed run malformed:\n%s", out)
+	}
+}
+
+func TestRunWithMissingTraceFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"run", "-trace", "/no/such/file"}, &buf); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestMediaCommand(t *testing.T) {
+	out := capture(t, "media", "-packets", "120", "-trials", "1")
+	if !strings.Contains(out, "adpcm") || !strings.Contains(out, "media processor") {
+		t.Fatalf("media output malformed:\n%s", out)
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	// At a moderate deterministic scale every claim passes and the
+	// command exits cleanly.
+	out := capture(t, "verify", "-packets", "1200", "-trials", "2")
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("verify output malformed:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("verify reported failures:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module clumsy
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package cache implements the simulated memory hierarchy of the clumsy
+// packet processor: a frequency-scaled, fault-injected L1 data cache with
+// optional per-word parity and k-strike recovery, a conventional L1
+// instruction cache, a shared unified L2, and a fixed-latency memory — the
+// configuration of Section 5.1 (StrongARM-110-like: 4 KB direct-mapped L1s
+// with 32-byte lines and 2-cycle latency, 128 KB 4-way L2 with 128-byte
+// lines and 15-cycle latency).
+//
+// Only the L1 data cache is over-clocked: faults are injected on its read
+// and write paths, its access latency shrinks proportionally to the relative
+// cycle time Cr, and its per-access energy shrinks with the voltage swing.
+// The L2 is assumed correct unless an incorrect value is written back to it
+// from L1 (Section 4).
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"clumsy/internal/simmem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	BlockSize int
+	Assoc     int
+	// Latency is the access latency in core cycles at full-swing operation.
+	Latency float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.BlockSize <= 0 || c.Assoc <= 0:
+		return errors.New("cache: non-positive geometry")
+	case c.BlockSize%4 != 0:
+		return errors.New("cache: block size must be a multiple of the 32-bit word")
+	case c.BlockSize&(c.BlockSize-1) != 0:
+		return errors.New("cache: block size must be a power of two")
+	case c.SizeBytes%(c.BlockSize*c.Assoc) != 0:
+		return fmt.Errorf("cache: size %d not divisible by block*assoc", c.SizeBytes)
+	case c.Latency < 0:
+		return errors.New("cache: negative latency")
+	}
+	sets := c.SizeBytes / (c.BlockSize * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return errors.New("cache: set count must be a power of two")
+	}
+	return nil
+}
+
+// Stats aggregates the events of one cache level.
+type Stats struct {
+	Reads         uint64
+	Writes        uint64
+	ReadMisses    uint64
+	WriteMisses   uint64
+	Writebacks    uint64
+	Invalidations uint64
+}
+
+// MissRate returns the combined read+write miss rate.
+func (s Stats) MissRate() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses+s.WriteMisses) / float64(total)
+}
+
+// Accesses returns the total number of accesses.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Backend is the next level of the hierarchy as seen by a cache: it serves
+// whole lines and reports the stall cycles of each operation.
+type Backend interface {
+	// FetchLine fills buf (whose length is the requesting cache's block
+	// size) with the line containing addr and returns the stall cycles.
+	FetchLine(addr simmem.Addr, buf []byte) (float64, error)
+	// StoreLine writes a full line back and returns the stall cycles.
+	StoreLine(addr simmem.Addr, buf []byte) (float64, error)
+}
+
+// line is one cache line with per-word parity.
+type line struct {
+	valid  bool
+	dirty  bool
+	tag    uint32
+	data   []byte
+	parity []byte   // one bit per 32-bit word, LSB used
+	enc    []uint32 // ECC-encoded words (nil unless SEC-DED is enabled)
+	lru    uint64
+}
+
+// table is the shared set-associative storage and lookup machinery used by
+// every cache level.
+type table struct {
+	cfg      Config
+	sets     [][]line
+	setShift uint
+	setMask  uint32
+	tick     uint64
+}
+
+func newTable(cfg Config) (*table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.SizeBytes / (cfg.BlockSize * cfg.Assoc)
+	t := &table{cfg: cfg, setMask: uint32(nsets - 1)}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		t.setShift++
+	}
+	t.sets = make([][]line, nsets)
+	for i := range t.sets {
+		ways := make([]line, cfg.Assoc)
+		for w := range ways {
+			ways[w].data = make([]byte, cfg.BlockSize)
+			ways[w].parity = make([]byte, cfg.BlockSize/4)
+		}
+		t.sets[i] = ways
+	}
+	return t, nil
+}
+
+func (t *table) index(addr simmem.Addr) (set uint32, tag uint32) {
+	blk := uint32(addr) >> t.setShift
+	return blk & t.setMask, blk >> 0 // full block number as tag keeps lookups unambiguous
+}
+
+// lookup returns the way holding addr, or nil on a miss.
+func (t *table) lookup(addr simmem.Addr) *line {
+	set, tag := t.index(addr)
+	ways := t.sets[set]
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			t.tick++
+			ways[w].lru = t.tick
+			return &ways[w]
+		}
+	}
+	return nil
+}
+
+// victim returns the way to fill for addr (the invalid way if one exists,
+// otherwise the least recently used way).
+func (t *table) victim(addr simmem.Addr) *line {
+	set, _ := t.index(addr)
+	ways := t.sets[set]
+	best := &ways[0]
+	for w := range ways {
+		if !ways[w].valid {
+			return &ways[w]
+		}
+		if ways[w].lru < best.lru {
+			best = &ways[w]
+		}
+	}
+	return best
+}
+
+// lineBase returns the address of the first byte of the line holding addr.
+func (t *table) lineBase(addr simmem.Addr) simmem.Addr {
+	return addr &^ simmem.Addr(t.cfg.BlockSize-1)
+}
+
+// invalidateRange drops (without write-back) every line overlapping
+// [addr, addr+n): the cached copies are stale after a DMA write landed in
+// the backing store.
+func (t *table) invalidateRange(addr simmem.Addr, n int) {
+	first := t.lineBase(addr)
+	last := t.lineBase(addr + simmem.Addr(n) - 1)
+	for a := first; ; a += simmem.Addr(t.cfg.BlockSize) {
+		set, tag := t.index(a)
+		ways := t.sets[set]
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == tag {
+				ways[w].valid = false
+				ways[w].dirty = false
+			}
+		}
+		if a >= last {
+			break
+		}
+	}
+}
+
+// invalidateAll drops every line (used between golden/faulty runs).
+func (t *table) invalidateAll() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w].valid = false
+			t.sets[s][w].dirty = false
+		}
+	}
+}
+
+// wordParity returns the even-parity bit of a 32-bit word.
+func wordParity(v uint32) byte {
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return byte(v & 1)
+}

@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"clumsy/internal/fault"
+	"clumsy/internal/simmem"
+)
+
+// StrongARM-110-like hierarchy parameters (Section 5.1).
+var (
+	// DefaultL1D: 4 KB direct-mapped, 32-byte lines, 2-cycle latency.
+	DefaultL1D = Config{SizeBytes: 4096, BlockSize: 32, Assoc: 1, Latency: 2}
+	// DefaultL1I matches the L1 data cache organisation.
+	DefaultL1I = Config{SizeBytes: 4096, BlockSize: 32, Assoc: 1, Latency: 2}
+	// DefaultL2: 128 KB 4-way, 128-byte lines, 15-cycle latency.
+	DefaultL2 = Config{SizeBytes: 128 * 1024, BlockSize: 128, Assoc: 4, Latency: 15}
+	// DefaultMemoryLatency is the line-transfer latency of main memory.
+	DefaultMemoryLatency = 80.0
+)
+
+// Hierarchy bundles the full simulated memory system.
+type Hierarchy struct {
+	Space *simmem.Space
+	Mem   *MainMemory
+	L2    *L2
+	L1D   *L1Data
+	L1I   *L1Instr
+}
+
+// HierarchyConfig describes a full memory system; zero-valued fields fall
+// back to the StrongARM defaults.
+type HierarchyConfig struct {
+	L1D        Config
+	L1I        Config
+	L2         Config
+	MemLatency float64
+}
+
+func (hc HierarchyConfig) withDefaults() HierarchyConfig {
+	if hc.L1D == (Config{}) {
+		hc.L1D = DefaultL1D
+	}
+	if hc.L1I == (Config{}) {
+		hc.L1I = DefaultL1I
+	}
+	if hc.L2 == (Config{}) {
+		hc.L2 = DefaultL2
+	}
+	if hc.MemLatency == 0 {
+		hc.MemLatency = DefaultMemoryLatency
+	}
+	return hc
+}
+
+// NewHierarchy assembles the default StrongARM-like hierarchy over space,
+// with the given fault injector, detection scheme and strike count on the
+// L1 data cache.
+func NewHierarchy(space *simmem.Space, inj *fault.Injector, det Detection, strikes int) (*Hierarchy, error) {
+	return NewHierarchyWith(space, inj, det, strikes, HierarchyConfig{})
+}
+
+// NewHierarchyWith assembles a hierarchy with explicit cache geometries
+// (used by the geometry ablation experiments).
+func NewHierarchyWith(space *simmem.Space, inj *fault.Injector, det Detection, strikes int, hc HierarchyConfig) (*Hierarchy, error) {
+	hc = hc.withDefaults()
+	mem := NewMainMemory(space, hc.MemLatency)
+	l2, err := NewL2(hc.L2, mem)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewL1Data(hc.L1D, l2, inj, det, strikes)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := NewL1Instr(hc.L1I, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{Space: space, Mem: mem, L2: l2, L1D: l1d, L1I: l1i}, nil
+}
+
+// StallCycles returns the total memory stall cycles accumulated so far.
+func (h *Hierarchy) StallCycles() float64 { return h.L1D.Cycles + h.L1I.Cycles }
+
+// DMA writes data into the backing store at addr the way a NIC's DMA
+// engine would, invalidating any stale cached copies of the range. (The
+// range is normally uncached, but a wild read through a fault-corrupted
+// pointer may have pulled arbitrary lines into the hierarchy.)
+func (h *Hierarchy) DMA(addr simmem.Addr, data []byte) error {
+	if err := h.Space.WriteBlock(addr, data); err != nil {
+		return err
+	}
+	h.L1D.InvalidateRange(addr, len(data))
+	h.L2.InvalidateRange(addr, len(data))
+	return nil
+}
+
+// InvalidateAll flushes every level without write-back.
+func (h *Hierarchy) InvalidateAll() {
+	h.L1D.InvalidateAll()
+	h.L1I.InvalidateAll()
+	h.L2.InvalidateAll()
+}

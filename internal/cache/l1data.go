@@ -1,0 +1,430 @@
+package cache
+
+import (
+	"clumsy/internal/circuit"
+	"clumsy/internal/fault"
+	"clumsy/internal/simmem"
+)
+
+// Detection selects the fault-detection scheme of the L1 data cache
+// (Section 4: a parity-protected architecture and one without detection).
+type Detection int
+
+const (
+	// DetectionNone lets faults corrupt values silently.
+	DetectionNone Detection = iota
+	// DetectionParity protects each 32-bit word with one parity bit;
+	// faults flipping an odd number of bits are detected on read.
+	DetectionParity
+	// DetectionECC protects each word with a SEC-DED Hamming code:
+	// single-bit faults are corrected transparently, double-bit faults
+	// are detected and recovered like parity hits. The paper excludes ECC
+	// on complexity and energy grounds (Section 4); it is implemented
+	// here as an extension so the trade-off can be measured.
+	DetectionECC
+)
+
+func (d Detection) String() string {
+	switch d {
+	case DetectionParity:
+		return "parity"
+	case DetectionECC:
+		return "ecc"
+	default:
+		return "no detection"
+	}
+}
+
+// RecoveryStats counts the detection and recovery events of the L1D.
+type RecoveryStats struct {
+	ParityErrors  uint64 // detected (uncorrectable) mismatches, parity or ECC
+	Retries       uint64 // L1 re-reads before giving up (two-/three-strike)
+	Recoveries    uint64 // refetch-from-L2 sequences (full-line or sub-block)
+	Corrected     uint64 // single-bit faults repaired in place by ECC
+	Miscorrected  uint64 // >=3-bit faults silently miscorrected by ECC
+	FaultsOnRead  uint64 // fault events injected on the read path
+	FaultsOnWrite uint64 // fault events injected on the write path
+}
+
+// EnergyWeights accumulate, per access class, the sum of the relative
+// voltage swing at the time of each access. Multiplying a weight by the
+// full-swing per-access energy yields the total energy of that class: the
+// paper's model has cache energy shrinking linearly with the swing
+// (Section 5.4).
+type EnergyWeights struct {
+	ReadSwing  float64 // sum of Vsr over read accesses (incl. retries)
+	WriteSwing float64 // sum of Vsr over write accesses (incl. fills)
+}
+
+// L1Data is the clumsy level-1 data cache: write-back, write-allocate,
+// frequency-scaled, fault-injected, optionally parity-protected with
+// k-strike recovery. It implements simmem.Memory, so applications run on it
+// unchanged.
+type L1Data struct {
+	tab  *table
+	next Backend
+
+	injector  *fault.Injector
+	detection Detection
+	strikes   int  // 1, 2, or 3; L1 attempts before recovering via L2
+	subBlock  bool // recover single words from L2 instead of whole lines
+
+	cr   float64 // relative cycle time of this cache
+	vsr  float64 // relative voltage swing at cr
+	lat  float64 // current access latency in core cycles (Latency * cr)
+	fill []byte  // scratch line buffer
+
+	Stats    Stats
+	Recovery RecoveryStats
+	Energy   EnergyWeights
+
+	// Cycles accumulates the data-access stall cycles of the run; the
+	// execution engine folds it into the per-packet cycle counts.
+	Cycles float64
+}
+
+// NewL1Data builds the clumsy L1 data cache over next. strikes selects the
+// recovery scheme (1, 2, or 3); it is ignored under DetectionNone.
+func NewL1Data(cfg Config, next Backend, inj *fault.Injector, det Detection, strikes int) (*L1Data, error) {
+	tab, err := newTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if strikes < 1 || strikes > 3 {
+		strikes = 1
+	}
+	c := &L1Data{tab: tab, next: next, injector: inj, detection: det, strikes: strikes,
+		fill: make([]byte, cfg.BlockSize)}
+	if det == DetectionECC {
+		for si := range tab.sets {
+			for w := range tab.sets[si] {
+				tab.sets[si][w].enc = make([]uint32, cfg.BlockSize/4)
+			}
+		}
+	}
+	c.SetCycleTime(1)
+	return c, nil
+}
+
+// SetSubBlock selects sub-block recovery (the extension sketched in the
+// paper's footnote 2): on an uncorrectable detected fault, only the
+// affected 32-bit word is refetched from the L2 instead of invalidating
+// and refilling the whole line. Dirty neighbours on the line survive and
+// no write-back is needed.
+func (c *L1Data) SetSubBlock(on bool) { c.subBlock = on }
+
+// SubBlock reports whether sub-block recovery is enabled.
+func (c *L1Data) SubBlock() bool { return c.subBlock }
+
+// SetCycleTime moves the cache (and its fault process) to relative cycle
+// time cr. Latency and per-access energy scale immediately; cached data is
+// unaffected (the paper notes that varying the clock frequency, unlike the
+// supply voltage, requires no cache flush).
+func (c *L1Data) SetCycleTime(cr float64) {
+	c.cr = cr
+	c.vsr = circuit.VoltageSwing(cr)
+	// The array access time shrinks with the cycle time, but the
+	// load-to-use latency seen by the in-order core cannot drop below one
+	// core cycle — this floor is why the paper finds Cr = 0.5 almost
+	// always preferable to Cr = 0.25 (Section 5.4: the energy keeps
+	// falling but the delay gain has been exhausted while the error rate
+	// soars).
+	c.lat = c.tab.cfg.Latency * cr
+	if c.lat < 1 {
+		c.lat = 1
+	}
+	c.injector.SetCycleTime(cr)
+}
+
+// CycleTime returns the current relative cycle time.
+func (c *L1Data) CycleTime() float64 { return c.cr }
+
+// Detection returns the configured detection scheme.
+func (c *L1Data) Detection() Detection { return c.detection }
+
+// Strikes returns the configured number of strikes.
+func (c *L1Data) Strikes() int { return c.strikes }
+
+// InvalidateAll drops all lines without write-back (experiment reset).
+func (c *L1Data) InvalidateAll() { c.tab.invalidateAll() }
+
+// InvalidateRange drops any lines overlapping the given byte range without
+// write-back (DMA coherence).
+func (c *L1Data) InvalidateRange(addr simmem.Addr, n int) { c.tab.invalidateRange(addr, n) }
+
+// ensure returns the line containing addr, filling on a miss.
+func (c *L1Data) ensure(addr simmem.Addr, isWrite bool) (*line, error) {
+	if ln := c.tab.lookup(addr); ln != nil {
+		return ln, nil
+	}
+	if isWrite {
+		c.Stats.WriteMisses++
+	} else {
+		c.Stats.ReadMisses++
+	}
+	victim := c.tab.victim(addr)
+	if victim.valid && victim.dirty {
+		// A dirty line carries values that may have been corrupted by a
+		// write-path fault; writing it back is the paper's path by which
+		// "an incorrect value from level-1 is written to" the L2.
+		c.Stats.Writebacks++
+		base := simmem.Addr(victim.tag) << c.tab.setShift
+		cyc, err := c.next.StoreLine(base, victim.data)
+		if err != nil {
+			return nil, err
+		}
+		c.Cycles += cyc
+	}
+	base := c.tab.lineBase(addr)
+	cyc, err := c.next.FetchLine(base, victim.data)
+	if err != nil {
+		return nil, err
+	}
+	c.Cycles += cyc
+	// The fill drives the array once; parity is computed per word from the
+	// (correct) L2 data.
+	c.Energy.WriteSwing += c.vsr
+	for w := 0; w < len(victim.data); w += 4 {
+		victim.parity[w/4] = wordParity(leWord(victim.data[w:]))
+		if victim.enc != nil {
+			victim.enc[w/4] = leWord(victim.data[w:])
+		}
+	}
+	_, tag := c.tab.index(addr)
+	victim.valid = true
+	victim.dirty = false
+	victim.tag = tag
+	c.tab.tick++
+	victim.lru = c.tab.tick
+	return victim, nil
+}
+
+func leWord(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLeWord(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// readWord performs the full clumsy read of the aligned 32-bit word at
+// addr: injection, parity check, strikes, and recovery through L2.
+func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
+	c.Stats.Reads++
+	ln, err := c.ensure(addr, false)
+	if err != nil {
+		return 0, err
+	}
+	w := int(addr) & (c.tab.cfg.BlockSize - 1) &^ 3
+	recoveries := 0
+	for attempt := 1; ; attempt++ {
+		c.Cycles += c.lat
+		c.Energy.ReadSwing += c.vsr
+		stored := leWord(ln.data[w:])
+		mask := uint32(c.injector.Next())
+		if mask != 0 {
+			c.Recovery.FaultsOnRead++
+		}
+		v := stored ^ mask
+		switch c.detection {
+		case DetectionNone:
+			return v, nil
+		case DetectionECC:
+			decoded, outcome := classifyECC(v, ln.enc[w/4])
+			switch outcome {
+			case eccClean:
+				return v, nil
+			case eccCorrected:
+				c.Recovery.Corrected++
+				// Scrub: the corrected value is written back into the
+				// array so a persistent write fault does not linger.
+				putLeWord(ln.data[w:], decoded)
+				ln.parity[w/4] = wordParity(decoded)
+				return decoded, nil
+			case eccMiscorrected:
+				c.Recovery.Miscorrected++
+				return decoded, nil
+			}
+			// Double-bit: detected but uncorrectable; fall through to the
+			// strike/recovery machinery below.
+		default: // parity
+			if wordParity(v) == ln.parity[w/4] {
+				return v, nil
+			}
+		}
+		c.Recovery.ParityErrors++
+		if recoveries >= 4 {
+			// Safety valve for pathological fault rates (scale >> 1): after
+			// several full recoveries the hardware gives up and forwards
+			// the word; real rates never reach this.
+			return v, nil
+		}
+		if attempt < c.strikes {
+			// Two-/three-strike: assume a transient read fault and try
+			// the L1 again before declaring the block bad.
+			c.Recovery.Retries++
+			continue
+		}
+		if c.subBlock {
+			// Sub-block recovery (footnote 2): refetch only the affected
+			// word from L2; the rest of the line, including dirty
+			// neighbours, stays put and no write-back is needed.
+			c.Recovery.Recoveries++
+			recoveries++
+			var word [4]byte
+			cyc, err := c.next.FetchLine(addr, word[:])
+			if err != nil {
+				return 0, err
+			}
+			c.Cycles += cyc
+			copy(ln.data[w:w+4], word[:])
+			fresh := leWord(word[:])
+			ln.parity[w/4] = wordParity(fresh)
+			if ln.enc != nil {
+				ln.enc[w/4] = fresh
+			}
+			attempt = 0
+			continue
+		}
+		// Out of strikes: treat it as a write fault, invalidate the block
+		// and serve from L2 (Section 4). The dirty line is written back
+		// first to preserve legitimate stores on the rest of the line.
+		c.Recovery.Recoveries++
+		recoveries++
+		c.Stats.Invalidations++
+		if ln.dirty {
+			c.Stats.Writebacks++
+			base := simmem.Addr(ln.tag) << c.tab.setShift
+			cyc, err := c.next.StoreLine(base, ln.data)
+			if err != nil {
+				return 0, err
+			}
+			c.Cycles += cyc
+		}
+		ln.valid = false
+		ln.dirty = false
+		ln, err = c.ensure(addr, false)
+		if err != nil {
+			return 0, err
+		}
+		// The refetched word is read once more through the (still clumsy)
+		// array; the loop continues with fresh parity, so a transient on
+		// this read is detected again rather than silently returned.
+		attempt = 0
+	}
+}
+
+// writeWord performs the clumsy write of the aligned word at addr. The
+// parity bit is computed from the intended value before the array drive, so
+// a write-path fault leaves a detectable mismatch behind (unless an even
+// number of bits flip).
+func (c *L1Data) writeWord(addr simmem.Addr, v uint32) error {
+	c.Stats.Writes++
+	ln, err := c.ensure(addr, true)
+	if err != nil {
+		return err
+	}
+	c.Cycles += c.lat
+	c.Energy.WriteSwing += c.vsr
+	w := int(addr) & (c.tab.cfg.BlockSize - 1)
+	w &^= 3
+	mask := uint32(c.injector.Next())
+	if mask != 0 {
+		c.Recovery.FaultsOnWrite++
+	}
+	putLeWord(ln.data[w:], v^mask)
+	ln.parity[w/4] = wordParity(v)
+	if ln.enc != nil {
+		ln.enc[w/4] = v
+	}
+	ln.dirty = true
+	return nil
+}
+
+// Load32 implements simmem.Memory.
+func (c *L1Data) Load32(a simmem.Addr) (uint32, error) {
+	a = simmem.Align(a, 4)
+	if err := c.checkAlign("load32", a, 4); err != nil {
+		return 0, err
+	}
+	return c.readWord(a)
+}
+
+// Store32 implements simmem.Memory.
+func (c *L1Data) Store32(a simmem.Addr, v uint32) error {
+	a = simmem.Align(a, 4)
+	if err := c.checkAlign("store32", a, 4); err != nil {
+		return err
+	}
+	return c.writeWord(a, v)
+}
+
+// Load16 reads a halfword via the containing word.
+func (c *L1Data) Load16(a simmem.Addr) (uint16, error) {
+	a = simmem.Align(a, 2)
+	if err := c.checkAlign("load16", a, 2); err != nil {
+		return 0, err
+	}
+	w, err := c.readWord(a &^ 3)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(w >> ((a & 2) * 8)), nil
+}
+
+// Store16 writes a halfword with a read-modify-write of the word.
+func (c *L1Data) Store16(a simmem.Addr, v uint16) error {
+	a = simmem.Align(a, 2)
+	if err := c.checkAlign("store16", a, 2); err != nil {
+		return err
+	}
+	w, err := c.readWord(a &^ 3)
+	if err != nil {
+		return err
+	}
+	shift := (a & 2) * 8
+	w = w&^(0xffff<<shift) | uint32(v)<<shift
+	return c.writeWord(a&^3, w)
+}
+
+// Load8 reads a byte via the containing word.
+func (c *L1Data) Load8(a simmem.Addr) (uint8, error) {
+	if err := c.checkAlign("load8", a, 1); err != nil {
+		return 0, err
+	}
+	w, err := c.readWord(a &^ 3)
+	if err != nil {
+		return 0, err
+	}
+	return uint8(w >> ((a & 3) * 8)), nil
+}
+
+// Store8 writes a byte with a read-modify-write of the word.
+func (c *L1Data) Store8(a simmem.Addr, v uint8) error {
+	if err := c.checkAlign("store8", a, 1); err != nil {
+		return err
+	}
+	w, err := c.readWord(a &^ 3)
+	if err != nil {
+		return err
+	}
+	shift := (a & 3) * 8
+	w = w&^(0xff<<shift) | uint32(v)<<shift
+	return c.writeWord(a&^3, w)
+}
+
+// checkAlign mirrors the address validation of the golden space so that a
+// corrupted pointer faults identically on both memories. Misalignment is
+// not a fault: the low address bits are ignored (ARM behaviour), handled by
+// simmem.Align at the call sites.
+func (c *L1Data) checkAlign(op string, a simmem.Addr, width int) error {
+	if a < simmem.PageBase {
+		return &simmem.AccessError{Op: op, Addr: a, Reason: "address in unmapped page"}
+	}
+	return nil
+}
+
+var _ simmem.Memory = (*L1Data)(nil)

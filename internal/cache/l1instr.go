@@ -1,0 +1,55 @@
+package cache
+
+import "clumsy/internal/simmem"
+
+// L1Instr is the level-1 instruction cache. It is conventional: the paper
+// over-clocks only the data cache, so instruction fetches run at full swing
+// with no fault injection. It serves fetch requests by program counter and
+// reports miss stall cycles; the fetched bytes themselves are irrelevant to
+// the simulation (applications are host code), so the cache tracks only
+// tags.
+type L1Instr struct {
+	tab   *table
+	next  Backend
+	fill  []byte
+	Stats Stats
+
+	// Cycles accumulates fetch stall cycles (hits are fully pipelined).
+	Cycles float64
+}
+
+// NewL1Instr builds the instruction cache over next.
+func NewL1Instr(cfg Config, next Backend) (*L1Instr, error) {
+	tab, err := newTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &L1Instr{tab: tab, next: next, fill: make([]byte, cfg.BlockSize)}, nil
+}
+
+// Fetch simulates the instruction fetch at pc. Hits cost nothing beyond the
+// pipelined fetch stage; misses stall for the L2 (and possibly memory)
+// latency.
+func (c *L1Instr) Fetch(pc simmem.Addr) error {
+	c.Stats.Reads++
+	if ln := c.tab.lookup(pc); ln != nil {
+		return nil
+	}
+	c.Stats.ReadMisses++
+	victim := c.tab.victim(pc)
+	base := c.tab.lineBase(pc)
+	cyc, err := c.next.FetchLine(base, victim.data)
+	if err != nil {
+		return err
+	}
+	c.Cycles += cyc
+	_, tag := c.tab.index(pc)
+	victim.valid = true
+	victim.tag = tag
+	c.tab.tick++
+	victim.lru = c.tab.tick
+	return nil
+}
+
+// InvalidateAll drops all lines (experiment reset).
+func (c *L1Instr) InvalidateAll() { c.tab.invalidateAll() }

@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+
+	"clumsy/internal/fault"
+	"clumsy/internal/simmem"
+)
+
+// Deeper behavioural tests of the multi-level machinery: L2 associativity
+// and LRU, write-back chains to memory, and DMA-range invalidation.
+
+func TestL2LRUReplacement(t *testing.T) {
+	space := simmem.NewSpace(1 << 22)
+	mem := NewMainMemory(space, 80)
+	// Tiny 2-way L2: 2 sets of 2 ways, 128-byte lines.
+	l2, err := NewL2(Config{SizeBytes: 512, BlockSize: 128, Assoc: 2, Latency: 15}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := space.MustAlloc(8192, 512)
+	buf := make([]byte, 128)
+	// Three lines mapping to the same set (stride = 256 with 2 sets).
+	a, b, c := base, base+512, base+1024
+	for _, addr := range []simmem.Addr{a, b, a, c} { // a is re-used: b becomes LRU
+		if _, err := l2.FetchLine(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads := mem.Stats.Reads
+	if _, err := l2.FetchLine(a, buf); err != nil { // must still be resident
+		t.Fatal(err)
+	}
+	if mem.Stats.Reads != reads {
+		t.Fatal("a should have survived: it was more recently used than b")
+	}
+	if _, err := l2.FetchLine(b, buf); err != nil { // b was evicted
+		t.Fatal(err)
+	}
+	if mem.Stats.Reads != reads+1 {
+		t.Fatal("b should have been the LRU victim")
+	}
+}
+
+func TestL2DirtyEvictionReachesMemory(t *testing.T) {
+	space := simmem.NewSpace(1 << 22)
+	mem := NewMainMemory(space, 80)
+	l2, err := NewL2(Config{SizeBytes: 256, BlockSize: 128, Assoc: 1, Latency: 15}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := space.MustAlloc(8192, 512)
+	line := make([]byte, 128)
+	for i := range line {
+		line[i] = 0xab
+	}
+	if _, err := l2.StoreLine(base, line); err != nil {
+		t.Fatal(err)
+	}
+	// Backing store is still clean: the write sits dirty in L2.
+	if v, _ := space.Load8(base); v != 0 {
+		t.Fatal("write-back cache must not write through")
+	}
+	// Evict by touching the conflicting line (direct-mapped, 2 sets,
+	// stride 256).
+	if _, err := l2.FetchLine(base+256, line); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := space.Load8(base); v != 0xab {
+		t.Fatalf("dirty eviction did not reach memory: %#x", v)
+	}
+	if l2.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", l2.Stats.Writebacks)
+	}
+}
+
+func TestL1MissGoesThroughBothLevels(t *testing.T) {
+	space := simmem.NewSpace(1 << 20)
+	m := fault.NewModel(1e-9)
+	inj := fault.NewInjector(m, fault.NewRNG(1), 32)
+	h, err := NewHierarchy(space, inj, DetectionNone, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := space.MustAlloc(4096, 32)
+	before := h.L1D.Cycles
+	if _, err := h.L1D.Load32(a); err != nil {
+		t.Fatal(err)
+	}
+	cold := h.L1D.Cycles - before
+	// Cold miss: L1 latency + L2 latency + memory latency.
+	if cold < DefaultL1D.Latency+DefaultL2.Latency+DefaultMemoryLatency {
+		t.Fatalf("cold miss cost %v cycles, too cheap", cold)
+	}
+	// Second line in the same L2 line: L1 miss, L2 hit.
+	before = h.L1D.Cycles
+	if _, err := h.L1D.Load32(a + 32); err != nil {
+		t.Fatal(err)
+	}
+	l2hit := h.L1D.Cycles - before
+	if l2hit >= cold {
+		t.Fatalf("L2 hit (%v) should be cheaper than memory (%v)", l2hit, cold)
+	}
+	if l2hit < DefaultL1D.Latency+DefaultL2.Latency {
+		t.Fatalf("L2 hit cost %v, too cheap", l2hit)
+	}
+}
+
+func TestInvalidateRangeDropsExactLines(t *testing.T) {
+	space := simmem.NewSpace(1 << 20)
+	m := fault.NewModel(1e-9)
+	inj := fault.NewInjector(m, fault.NewRNG(1), 32)
+	h, err := NewHierarchy(space, inj, DetectionNone, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := space.MustAlloc(256, 32)
+	for off := simmem.Addr(0); off < 256; off += 4 {
+		if err := h.L1D.Store32(a+off, 0xffffffff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invalidate the middle two lines only.
+	h.L1D.InvalidateRange(a+32, 64)
+	misses := h.L1D.Stats.ReadMisses
+	if _, err := h.L1D.Load32(a); err != nil { // untouched line: hit
+		t.Fatal(err)
+	}
+	if h.L1D.Stats.ReadMisses != misses {
+		t.Fatal("line outside the range was invalidated")
+	}
+	if _, err := h.L1D.Load32(a + 64); err != nil { // inside range: miss
+		t.Fatal(err)
+	}
+	if h.L1D.Stats.ReadMisses != misses+1 {
+		t.Fatal("line inside the range survived")
+	}
+}
+
+func TestDMAOverwritesCachedData(t *testing.T) {
+	space := simmem.NewSpace(1 << 20)
+	m := fault.NewModel(1e-9)
+	inj := fault.NewInjector(m, fault.NewRNG(1), 32)
+	h, err := NewHierarchy(space, inj, DetectionNone, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := space.MustAlloc(64, 32)
+	// Pull the (zero) line into L1D and L2 — the "wild read" scenario.
+	if _, err := h.L1D.Load32(a); err != nil {
+		t.Fatal(err)
+	}
+	// DMA a packet over it.
+	if err := h.DMA(a, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.L1D.Load32(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x04030201 {
+		t.Fatalf("read after DMA = %#x, want fresh data (stale cache?)", v)
+	}
+}
+
+func TestMainMemoryBounds(t *testing.T) {
+	space := simmem.NewSpace(1 << 16)
+	mem := NewMainMemory(space, 80)
+	buf := make([]byte, 128)
+	if _, err := mem.FetchLine(1<<16, buf); err == nil {
+		t.Fatal("fetch past end of space should fail")
+	}
+	if _, err := mem.StoreLine(2, buf); err == nil {
+		t.Fatal("store into the null page should fail")
+	}
+}

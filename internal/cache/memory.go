@@ -1,0 +1,140 @@
+package cache
+
+import "clumsy/internal/simmem"
+
+// MainMemory is the bottom of the hierarchy: a fixed-latency DRAM front-end
+// over the simulated address space. It is never fault-injected.
+type MainMemory struct {
+	Space   *simmem.Space
+	Latency float64 // stall cycles per line transfer
+	Stats   Stats
+}
+
+// NewMainMemory wraps space with the given line-transfer latency.
+func NewMainMemory(space *simmem.Space, latency float64) *MainMemory {
+	return &MainMemory{Space: space, Latency: latency}
+}
+
+// FetchLine reads a line from the backing space.
+func (m *MainMemory) FetchLine(addr simmem.Addr, buf []byte) (float64, error) {
+	m.Stats.Reads++
+	if err := m.Space.ReadBlock(addr, buf); err != nil {
+		return 0, err
+	}
+	return m.Latency, nil
+}
+
+// StoreLine writes a line to the backing space.
+func (m *MainMemory) StoreLine(addr simmem.Addr, buf []byte) (float64, error) {
+	m.Stats.Writes++
+	if err := m.Space.WriteBlock(addr, buf); err != nil {
+		return 0, err
+	}
+	return m.Latency, nil
+}
+
+var _ Backend = (*MainMemory)(nil)
+
+// L2 is the shared, unified second-level cache. It always runs at full
+// swing: its contents are correct unless a corrupted line is written back
+// from L1 (Section 4). Write-back, write-allocate.
+type L2 struct {
+	tab   *table
+	next  Backend
+	Stats Stats
+}
+
+// NewL2 builds the unified L2 over the given backend.
+func NewL2(cfg Config, next Backend) (*L2, error) {
+	tab, err := newTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &L2{tab: tab, next: next}, nil
+}
+
+// ensure returns the line holding addr, filling it on a miss, together with
+// the stall cycles spent below this level.
+func (c *L2) ensure(addr simmem.Addr, isWrite bool) (*line, float64, error) {
+	if ln := c.tab.lookup(addr); ln != nil {
+		return ln, 0, nil
+	}
+	if isWrite {
+		c.Stats.WriteMisses++
+	} else {
+		c.Stats.ReadMisses++
+	}
+	victim := c.tab.victim(addr)
+	var cycles float64
+	if victim.valid && victim.dirty {
+		c.Stats.Writebacks++
+		base := simmem.Addr(victim.tag) << c.tab.setShift
+		wb, err := c.next.StoreLine(base, victim.data)
+		if err != nil {
+			return nil, 0, err
+		}
+		cycles += wb
+	}
+	base := c.tab.lineBase(addr)
+	fill, err := c.next.FetchLine(base, victim.data)
+	if err != nil {
+		return nil, 0, err
+	}
+	cycles += fill
+	_, tag := c.tab.index(addr)
+	victim.valid = true
+	victim.dirty = false
+	victim.tag = tag
+	c.tab.tick++
+	victim.lru = c.tab.tick
+	return victim, cycles, nil
+}
+
+// FetchLine serves an upper-level fill request of len(buf) bytes.
+func (c *L2) FetchLine(addr simmem.Addr, buf []byte) (float64, error) {
+	c.Stats.Reads++
+	cycles := c.tab.cfg.Latency
+	for off := 0; off < len(buf); off += c.tab.cfg.BlockSize {
+		ln, extra, err := c.ensure(addr+simmem.Addr(off), false)
+		if err != nil {
+			return 0, err
+		}
+		cycles += extra
+		lo := int(addr+simmem.Addr(off)) & (c.tab.cfg.BlockSize - 1)
+		copy(buf[off:], ln.data[lo:])
+	}
+	return cycles, nil
+}
+
+// StoreLine absorbs an upper-level write-back.
+func (c *L2) StoreLine(addr simmem.Addr, buf []byte) (float64, error) {
+	c.Stats.Writes++
+	cycles := c.tab.cfg.Latency
+	for off := 0; off < len(buf); off += c.tab.cfg.BlockSize {
+		ln, extra, err := c.ensure(addr+simmem.Addr(off), true)
+		if err != nil {
+			return 0, err
+		}
+		cycles += extra
+		lo := int(addr+simmem.Addr(off)) & (c.tab.cfg.BlockSize - 1)
+		copy(ln.data[lo:], buf[off:min(off+c.tab.cfg.BlockSize-lo, len(buf))])
+		ln.dirty = true
+	}
+	return cycles, nil
+}
+
+// InvalidateAll flushes the L2 without write-back (experiment reset).
+func (c *L2) InvalidateAll() { c.tab.invalidateAll() }
+
+// InvalidateRange drops any lines overlapping the given byte range without
+// write-back (DMA coherence).
+func (c *L2) InvalidateRange(addr simmem.Addr, n int) { c.tab.invalidateRange(addr, n) }
+
+var _ Backend = (*L2)(nil)
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

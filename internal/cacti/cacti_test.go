@@ -1,0 +1,128 @@
+package cacti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrongARMConfigsValid(t *testing.T) {
+	l1d, l1i, l2 := StrongARMCaches()
+	for _, c := range []Config{l1d, l1i, l2} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %+v invalid: %v", c, err)
+		}
+	}
+	if l1d.Sets() != 128 {
+		t.Errorf("L1 sets = %d, want 128 (4KB / 32B direct-mapped)", l1d.Sets())
+	}
+	if l2.Sets() != 256 {
+		t.Errorf("L2 sets = %d, want 256 (128KB / (128B * 4-way))", l2.Sets())
+	}
+}
+
+func TestModelEnergyRanges(t *testing.T) {
+	l1d, _, l2 := StrongARMCaches()
+	r1 := MustModel(l1d)
+	r2 := MustModel(l2)
+	// Plausibility bands for 0.18um-class arrays.
+	if r1.ReadEnergy < 50e-12 || r1.ReadEnergy > 2e-9 {
+		t.Errorf("L1 read energy %.3g J outside plausible band", r1.ReadEnergy)
+	}
+	if r2.ReadEnergy < 500e-12 || r2.ReadEnergy > 20e-9 {
+		t.Errorf("L2 read energy %.3g J outside plausible band", r2.ReadEnergy)
+	}
+	if r2.ReadEnergy < 3*r1.ReadEnergy {
+		t.Errorf("L2 access (%.3g) should cost several times L1 (%.3g)", r2.ReadEnergy, r1.ReadEnergy)
+	}
+	if r1.WriteEnergy <= 0 || r2.WriteEnergy <= 0 {
+		t.Error("write energies must be positive")
+	}
+	if r1.AccessTime <= 0 || r2.AccessTime <= r1.AccessTime {
+		t.Errorf("access times implausible: L1 %.3g, L2 %.3g", r1.AccessTime, r2.AccessTime)
+	}
+}
+
+func TestModelScalesWithSize(t *testing.T) {
+	base := Config{SizeBytes: 4096, BlockSize: 32, Assoc: 1, TagBits: 20, Vdd: 1.8, Technology: 1}
+	big := base
+	big.SizeBytes = 64 * 1024
+	rb := MustModel(base)
+	rg := MustModel(big)
+	if rg.ReadEnergy <= rb.ReadEnergy {
+		t.Error("larger cache should cost more energy per access")
+	}
+	if rg.AccessTime <= rb.AccessTime {
+		t.Error("larger cache should be slower")
+	}
+}
+
+func TestModelScalesWithVdd(t *testing.T) {
+	c := Config{SizeBytes: 4096, BlockSize: 32, Assoc: 1, TagBits: 20, Vdd: 1.8, Technology: 1}
+	low := c
+	low.Vdd = 0.9
+	rh := MustModel(c)
+	rl := MustModel(low)
+	ratio := rh.ReadEnergy / rl.ReadEnergy
+	if ratio < 3.9 || ratio > 4.1 { // E ~ Vdd^2, (1.8/0.9)^2 = 4
+		t.Errorf("Vdd scaling ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	good := Config{SizeBytes: 4096, BlockSize: 32, Assoc: 1, TagBits: 20, Vdd: 1.8, Technology: 1}
+	mutations := []func(*Config){
+		func(c *Config) { c.SizeBytes = 0 },
+		func(c *Config) { c.BlockSize = 0 },
+		func(c *Config) { c.Assoc = 0 },
+		func(c *Config) { c.SizeBytes = 5000 }, // not divisible
+		func(c *Config) { c.TagBits = -1 },
+		func(c *Config) { c.Vdd = 0 },
+		func(c *Config) { c.Technology = 0 },
+		func(c *Config) { c.SizeBytes = 96 * 32 }, // 96 sets: not a power of two
+	}
+	for i, m := range mutations {
+		c := good
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error for %+v", i, c)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestModelReturnsErrorNotPanic(t *testing.T) {
+	_, err := Model(Config{})
+	if err == nil {
+		t.Fatal("Model of zero config should fail")
+	}
+}
+
+func TestMustModelPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustModel should panic on invalid config")
+		}
+	}()
+	MustModel(Config{})
+}
+
+func TestEnergyPositiveProperty(t *testing.T) {
+	f := func(sizeExp, blockExp uint8) bool {
+		size := 1 << (10 + sizeExp%8)  // 1KB..128KB
+		block := 1 << (4 + blockExp%4) // 16..128B
+		c := Config{SizeBytes: size, BlockSize: block, Assoc: 1, TagBits: 20, Vdd: 1.8, Technology: 1}
+		if c.Validate() != nil {
+			return true // skip inconsistent combinations
+		}
+		r, err := Model(c)
+		if err != nil {
+			return false
+		}
+		return r.ReadEnergy > 0 && r.WriteEnergy > 0 && r.AccessTime > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+package circuit_test
+
+import (
+	"fmt"
+
+	"clumsy/internal/circuit"
+)
+
+// Example shows the paper's operating points on the fault-probability
+// curve: the rate is anchored at 2.59e-7 per bit at full swing and rises
+// sharply only once the cycle time drops below half.
+func Example() {
+	cell := circuit.DefaultCell()
+	base := cell.FaultProbability(1)
+	for _, cr := range []float64{1, 0.75, 0.5, 0.25} {
+		fmt.Printf("Cr=%-5g swing=%.2f fault-rate=%.1fx\n",
+			cr, circuit.VoltageSwing(cr), cell.FaultProbability(cr)/base)
+	}
+	// Output:
+	// Cr=1     swing=1.00 fault-rate=1.0x
+	// Cr=0.75  swing=0.93 fault-rate=1.5x
+	// Cr=0.5   swing=0.80 fault-rate=3.5x
+	// Cr=0.25  swing=0.53 fault-rate=26.8x
+}

@@ -1,0 +1,72 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitFaultCurveQuality(t *testing.T) {
+	c := DefaultCell()
+	fit := FitFaultCurve(c, 0.2, 40)
+	if fit.R2 < 0.98 {
+		t.Fatalf("fit R^2 = %v, want >= 0.98 (paper's Eq. 4 tracks the data closely)", fit.R2)
+	}
+	// Evaluate against the integrated model at the paper's operating points.
+	for _, cr := range []float64{1, 0.75, 0.5, 0.25} {
+		want := c.FaultProbability(cr)
+		got := fit.Eval(cr)
+		if got <= 0 {
+			t.Fatalf("fit gives non-positive probability at Cr=%v", cr)
+		}
+		ratio := got / want
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("fit at Cr=%v off by %vx (got %.3g want %.3g)", cr, ratio, got, want)
+		}
+	}
+}
+
+func TestFitIncreasesWithFrequency(t *testing.T) {
+	fit := FitFaultCurve(DefaultCell(), 0.2, 40)
+	if fit.B <= 0 {
+		t.Fatalf("exponent scale B = %v, want positive (faults rise with frequency)", fit.B)
+	}
+	if fit.Delta <= 0 {
+		t.Fatalf("Delta = %v, want positive", fit.Delta)
+	}
+	prev := 0.0
+	for cr := 1.0; cr >= 0.2; cr -= 0.05 {
+		p := fit.Eval(cr)
+		if p <= prev {
+			t.Fatalf("fitted curve not increasing with frequency at Cr=%.2f", cr)
+		}
+		prev = p
+	}
+}
+
+func TestFitString(t *testing.T) {
+	fit := ExpFit{A: 2.59e-7, B: 0.1, Delta: 7, R2: 0.999}
+	s := fit.String()
+	for _, frag := range []string{"P_E", "Fr^7.00", "R^2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}
+
+func TestOLSRecoversExactModel(t *testing.T) {
+	// Synthesize data exactly of the fitted form and verify recovery.
+	const a, b, delta = -15.0, 0.002, 3.0
+	crs := []float64{1, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.25}
+	ys := make([]float64, len(crs))
+	for i, cr := range crs {
+		ys[i] = a + b*math.Pow(1/cr, delta)
+	}
+	gotA, gotB, r2 := olsLogFit(crs, ys, delta)
+	if math.Abs(gotA-a) > 1e-9 || math.Abs(gotB-b) > 1e-12 {
+		t.Fatalf("ols got (%v, %v), want (%v, %v)", gotA, gotB, a, b)
+	}
+	if r2 < 1-1e-12 {
+		t.Fatalf("r2 = %v, want 1", r2)
+	}
+}

@@ -1,0 +1,37 @@
+package clumsy_test
+
+import (
+	"fmt"
+
+	"clumsy/internal/cache"
+	"clumsy/internal/clumsy"
+)
+
+// ExampleRun simulates the route application on a clumsy packet processor
+// whose data cache runs at half the specified cycle time, protected by
+// parity with two-strike recovery, and reports the trade against the
+// fault-free baseline.
+func ExampleRun() {
+	res, err := clumsy.Run(clumsy.Config{
+		App:        "route",
+		Packets:    500,
+		Seed:       42,
+		CycleTime:  0.5,
+		Detection:  cache.DetectionParity,
+		Strikes:    2,
+		FaultScale: 1e-12, // silence faults so the example output is exact
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("processed %d/%d packets\n", res.Report.Processed, res.Report.GoldenPackets)
+	fmt.Printf("delay improves: %v\n", res.Delay < res.GoldenDelay)
+	fmt.Printf("energy improves: %v\n", res.Energy.Total() < res.GoldenEnergy.Total())
+	fmt.Printf("fallibility: %.3f\n", res.Fallibility())
+	// Output:
+	// processed 500/500 packets
+	// delay improves: true
+	// energy improves: true
+	// fallibility: 1.000
+}

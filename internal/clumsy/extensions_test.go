@@ -1,0 +1,111 @@
+package clumsy
+
+import (
+	"testing"
+
+	"clumsy/internal/apps"
+	"clumsy/internal/cache"
+	"clumsy/internal/packet"
+)
+
+// packetGenerate builds the app's trace the way Run does.
+func packetGenerate(a apps.App, packets int, seed uint64) (*packet.Trace, error) {
+	return packet.Generate(a.TraceConfig(packets, seed))
+}
+
+func TestECCConfigRuns(t *testing.T) {
+	res := run(t, Config{App: "route", Packets: 400, Seed: 21, FaultScale: 50, CycleTime: 0.25,
+		Detection: cache.DetectionECC, Strikes: 2})
+	if res.Report.Fatal {
+		t.Fatalf("ECC run died: %v", res.FatalErr)
+	}
+	if res.Recovery.Corrected == 0 {
+		t.Fatal("ECC corrected nothing at amplified rate")
+	}
+	// Single-bit faults (the overwhelming majority) are repaired in
+	// place; the residue is double-bit recoveries and structural damage
+	// from faults on already-read values, so fallibility stays far below
+	// the unprotected run's.
+	noDet := run(t, Config{App: "route", Packets: 400, Seed: 21, FaultScale: 50, CycleTime: 0.25,
+		Detection: cache.DetectionNone})
+	if !noDet.Report.Fatal && res.Fallibility() > noDet.Fallibility() {
+		t.Fatalf("ECC fallibility %v should not exceed unprotected %v",
+			res.Fallibility(), noDet.Fallibility())
+	}
+	if res.Fallibility() > 1.25 {
+		t.Fatalf("ECC fallibility = %v", res.Fallibility())
+	}
+	// ECC pays more energy than parity at the same point.
+	parity := run(t, Config{App: "route", Packets: 400, Seed: 21, FaultScale: 50, CycleTime: 0.25,
+		Detection: cache.DetectionParity, Strikes: 2})
+	if res.Energy.Parity <= parity.Energy.Parity {
+		t.Fatalf("ECC overhead (%v) should exceed parity overhead (%v)",
+			res.Energy.Parity, parity.Energy.Parity)
+	}
+}
+
+func TestSubBlockConfigRuns(t *testing.T) {
+	full := run(t, Config{App: "route", Packets: 400, Seed: 22, FaultScale: 50, CycleTime: 0.25,
+		Detection: cache.DetectionParity, Strikes: 1})
+	sub := run(t, Config{App: "route", Packets: 400, Seed: 22, FaultScale: 50, CycleTime: 0.25,
+		Detection: cache.DetectionParity, Strikes: 1, SubBlock: true})
+	if sub.Recovery.Recoveries == 0 {
+		t.Fatal("sub-block run never recovered at amplified rate")
+	}
+	// Word-granular recovery never invalidates lines.
+	if sub.L1DStats.Invalidations != 0 {
+		t.Fatalf("sub-block recovery invalidated %d lines", sub.L1DStats.Invalidations)
+	}
+	if full.Recovery.Recoveries > 0 && full.L1DStats.Invalidations == 0 {
+		t.Fatal("full-line recovery should invalidate")
+	}
+}
+
+func TestDMACoherence(t *testing.T) {
+	// The regression behind Hierarchy.DMA: a wild read caused by an
+	// undetected corrupted pointer may cache lines of the region a future
+	// packet buffer will occupy; the DMA write must invalidate them so the
+	// processor reads the packet, not stale zeros. With no detection and
+	// a hot fault rate, route exercises wild reads; the initial-src
+	// observation (a direct read of DMA-written bytes) must never differ
+	// unless a fault hit that very read.
+	res := run(t, Config{App: "nat", Packets: 600, Seed: 23, FaultScale: 30, CycleTime: 0.25,
+		Planes: PlaneData})
+	// initial-src errors can only come from read-path faults on those
+	// loads, which are a tiny fraction of all accesses — not from every
+	// packet after the first wild read.
+	p := res.Report.ErrorProbability("initial-src")
+	if p > 0.02 {
+		t.Fatalf("initial-src error probability %v suggests stale DMA data", p)
+	}
+}
+
+func TestRunWithTraceReplaysExactly(t *testing.T) {
+	app := "route"
+	res1 := run(t, Config{App: app, Packets: 200, Seed: 31, FaultScale: 20, CycleTime: 0.5})
+	// Replaying the generated trace must give identical results to the
+	// generating run.
+	a, err := apps.New(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := packetGenerate(a, 200, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunWithTrace(Config{App: app, Seed: 31, FaultScale: 20, CycleTime: 0.5}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cycles != res2.Cycles || res1.Instrs != res2.Instrs ||
+		res1.Report.PacketsWith != res2.Report.PacketsWith {
+		t.Fatalf("replay diverged: %v/%v cycles, %v/%v instrs",
+			res1.Cycles, res2.Cycles, res1.Instrs, res2.Instrs)
+	}
+}
+
+func TestRunWithTraceRejectsEmpty(t *testing.T) {
+	if _, err := RunWithTrace(Config{App: "route"}, nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}

@@ -1,0 +1,19 @@
+package clumsy
+
+import "testing"
+
+// BenchmarkRunRoute measures the end-to-end simulation rate: a full
+// golden+clumsy pair over a 500-packet route workload per iteration.
+func BenchmarkRunRoute(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{App: "route", Packets: 500, Seed: uint64(i + 1),
+			CycleTime: 0.5, FaultScale: 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.GoldenPackets != 500 {
+			b.Fatal("short run")
+		}
+	}
+}

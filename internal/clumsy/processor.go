@@ -1,0 +1,453 @@
+package clumsy
+
+import (
+	"errors"
+	"fmt"
+
+	"clumsy/internal/apps"
+	"clumsy/internal/cache"
+	"clumsy/internal/energy"
+	"clumsy/internal/fault"
+	"clumsy/internal/freqctl"
+	"clumsy/internal/metrics"
+	"clumsy/internal/packet"
+	"clumsy/internal/radix"
+	"clumsy/internal/simmem"
+)
+
+// Planes selects which execution segments receive fault injection, for the
+// control-plane / data-plane experiments of Section 5.2.
+type Planes int
+
+const (
+	PlaneNone Planes = 0
+	// PlaneControl injects faults only during Setup (table construction).
+	PlaneControl Planes = 1 << iota
+	// PlaneData injects faults only during packet processing.
+	PlaneData
+	// PlaneBoth injects faults everywhere.
+	PlaneBoth = PlaneControl | PlaneData
+)
+
+func (p Planes) String() string {
+	switch p {
+	case PlaneControl:
+		return "control plane"
+	case PlaneData:
+		return "data plane"
+	case PlaneBoth:
+		return "both planes"
+	default:
+		return "no injection"
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	App     string // NetBench application name
+	Packets int    // trace length
+	Seed    uint64 // experiment seed (trace + fault stream)
+
+	CycleTime float64 // static relative cycle time of the L1D (ignored when Dynamic)
+	Dynamic   bool    // use the frequency-adaptation controller
+
+	// Dynamic-controller overrides (zero = the paper's defaults: 100
+	// packets per epoch, X1 = 2.0, X2 = 0.8). Used by the threshold
+	// tuning study.
+	EpochPackets int
+	X1, X2       float64
+
+	Detection cache.Detection
+	Strikes   int // 1..3, recovery scheme under parity/ECC
+	// SubBlock selects sub-block (per-word) recovery instead of full-line
+	// invalidation — the extension of the paper's footnote 2.
+	SubBlock bool
+
+	FaultScale float64 // multiplier on the physical fault rate (1 = paper)
+	Planes     Planes  // which planes receive faults
+
+	// WatchdogFactor bounds per-packet instructions at this multiple of
+	// the golden run's worst packet. A stuck execution (the paper's
+	// infinite-loop fatal error) spins for this budget before it is
+	// declared dead, and the burned cycles count toward the run — which is
+	// what makes fatal configurations expensive in the EDF metric, as in
+	// the paper's off-scale bars. Zero selects the default of 500.
+	WatchdogFactor float64
+
+	// SpaceBytes overrides the simulated memory size (0 = auto).
+	SpaceBytes int
+
+	// L1DSize overrides the L1 data cache capacity in bytes (0 = the
+	// StrongARM default of 4 KB); used by the geometry ablation.
+	L1DSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CycleTime == 0 {
+		c.CycleTime = 1
+	}
+	if c.Strikes == 0 {
+		c.Strikes = 1
+	}
+	if c.FaultScale == 0 {
+		c.FaultScale = 1
+	}
+	if c.Planes == 0 {
+		c.Planes = PlaneBoth
+	}
+	if c.WatchdogFactor == 0 {
+		c.WatchdogFactor = 500
+	}
+	return c
+}
+
+// Result carries everything measured in one golden+faulty run pair.
+type Result struct {
+	Config Config
+
+	// Golden (fault-free, full-swing) reference.
+	GoldenCycles   float64
+	GoldenInstrs   uint64
+	GoldenDelay    float64 // data-plane cycles per packet
+	GoldenEnergy   energy.Breakdown
+	GoldenL1DStats cache.Stats
+
+	// Clumsy run.
+	Cycles    float64
+	Instrs    uint64
+	Delay     float64 // data-plane cycles per completed packet
+	Energy    energy.Breakdown
+	L1DStats  cache.Stats
+	Recovery  cache.RecoveryStats
+	FatalErr  error // the error that ended a fatal run (nil otherwise)
+	SetupDied bool  // the fatal error struck during the control plane
+
+	Report metrics.Report
+
+	// Dynamic-scheme bookkeeping (nil for static runs).
+	LevelPackets []uint64
+	Switches     int
+	Timeline     []FreqEvent
+}
+
+// FreqEvent records one frequency change of a dynamic run.
+type FreqEvent struct {
+	Packet    int     // packet index at which the change took effect
+	CycleTime float64 // the new relative cycle time
+}
+
+// Fallibility returns the fallibility factor of the clumsy run.
+func (r *Result) Fallibility() float64 { return r.Report.Fallibility() }
+
+// FatalProbability returns the implied per-packet fatal error probability.
+func (r *Result) FatalProbability() float64 { return r.Report.FatalProbability() }
+
+// EDF returns the energy^k·delay^m·fallibility^n product of the clumsy run
+// under the given exponents.
+func (r *Result) EDF(e metrics.EDFExponents) float64 {
+	return e.EDF(r.Energy.Total(), r.Delay, r.Fallibility())
+}
+
+// GoldenEDF returns the product for the golden reference (fallibility 1).
+func (r *Result) GoldenEDF(e metrics.EDFExponents) float64 {
+	return e.EDF(r.GoldenEnergy.Total(), r.GoldenDelay, 1)
+}
+
+// Run executes the golden and the clumsy run for the configuration and
+// compares them. The trace is generated from the application's workload
+// definition; use RunWithTrace to replay a stored trace.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	app, err := apps.New(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := packet.Generate(app.TraceConfig(cfg.Packets, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return RunWithTrace(cfg, trace)
+}
+
+// RunWithTrace executes the golden and the clumsy run over an explicit
+// packet trace (e.g. one replayed from a file written by
+// packet.Trace.Serialize) and compares them. Config.Packets is ignored;
+// the trace defines the workload length.
+func RunWithTrace(cfg Config, trace *packet.Trace) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if trace == nil || len(trace.Packets) == 0 {
+		return nil, errors.New("clumsy: empty trace")
+	}
+	cfg.Packets = len(trace.Packets)
+
+	res := &Result{Config: cfg}
+
+	// Golden pass: injector disabled, full swing, no watchdog.
+	golden, err := runOnce(cfg, trace, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("clumsy: golden run failed: %w", err)
+	}
+	if golden.fatal != nil {
+		return nil, fmt.Errorf("clumsy: golden run must not die: %w", golden.fatal)
+	}
+	res.GoldenCycles = golden.cycles
+	res.GoldenInstrs = golden.instrs
+	res.GoldenDelay = golden.delay
+	res.GoldenEnergy = golden.energy
+	res.GoldenL1DStats = golden.l1dStats
+
+	budget := uint64(cfg.WatchdogFactor * float64(golden.maxPacketInstrs))
+	faulty, err := runOnce(cfg, trace, &injection{scale: cfg.FaultScale, planes: cfg.Planes}, budget)
+	if err != nil {
+		return nil, fmt.Errorf("clumsy: faulty run failed: %w", err)
+	}
+	res.Cycles = faulty.cycles
+	res.Instrs = faulty.instrs
+	res.Delay = faulty.delay
+	res.Energy = faulty.energy
+	res.L1DStats = faulty.l1dStats
+	res.Recovery = faulty.recovery
+	res.FatalErr = faulty.fatal
+	res.SetupDied = faulty.setupDied
+	res.LevelPackets = faulty.levelPackets
+	res.Switches = faulty.switches
+	res.Timeline = faulty.timeline
+
+	res.Report = metrics.Compare(golden.rec, faulty.rec)
+	if faulty.fatal != nil && res.Report.Processed == 0 {
+		// A run that died before completing a single packet has no
+		// meaningful per-packet delay; charge the golden delay and let the
+		// maximal fallibility carry the penalty (the paper reports such
+		// configurations as off-scale bars).
+		res.Delay = golden.delay
+	}
+	return res, nil
+}
+
+// injection describes the fault process of a run; nil means fault-free.
+type injection struct {
+	scale  float64
+	planes Planes
+}
+
+// onceResult is the outcome of a single execution.
+type onceResult struct {
+	rec             *metrics.Recorder
+	cycles          float64
+	instrs          uint64
+	delay           float64
+	maxPacketInstrs uint64
+	energy          energy.Breakdown
+	l1dStats        cache.Stats
+	recovery        cache.RecoveryStats
+	fatal           error
+	setupDied       bool
+	levelPackets    []uint64
+	switches        int
+	timeline        []FreqEvent
+}
+
+// appBlocks is the size of the synthetic code segment, comfortably above
+// any application's basic-block count.
+const appBlocks = 32
+
+func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*onceResult, error) {
+	spaceBytes := cfg.SpaceBytes
+	if spaceBytes == 0 {
+		spaceBytes = autoSpaceBytes(trace)
+	}
+	space := simmem.NewSpace(spaceBytes)
+
+	scale := 1.0
+	if inj != nil {
+		scale = inj.scale
+	}
+	model := fault.NewModel(scale)
+	injector := fault.NewInjector(model, fault.NewRNG(cfg.Seed).Fork(0xfa17), 32)
+	injector.SetEnabled(false)
+
+	var hc cache.HierarchyConfig
+	if cfg.L1DSize != 0 {
+		hc.L1D = cache.DefaultL1D
+		hc.L1D.SizeBytes = cfg.L1DSize
+	}
+	h, err := cache.NewHierarchyWith(space, injector, cfg.Detection, cfg.Strikes, hc)
+	if err != nil {
+		return nil, err
+	}
+	h.L1D.SetSubBlock(cfg.SubBlock)
+	eng, err := newEngine(h, appBlocks)
+	if err != nil {
+		return nil, err
+	}
+
+	var ctrl *freqctl.Controller
+	if inj != nil {
+		if cfg.Dynamic {
+			epoch := cfg.EpochPackets
+			if epoch == 0 {
+				epoch = freqctl.DefaultEpochPackets
+			}
+			x1, x2 := cfg.X1, cfg.X2
+			if x1 == 0 {
+				x1 = freqctl.DefaultX1
+			}
+			if x2 == 0 {
+				x2 = freqctl.DefaultX2
+			}
+			ctrl, err = freqctl.NewWith(freqctl.DefaultLevels(), epoch, x1, x2, freqctl.DefaultSwitchPenalty)
+			if err != nil {
+				return nil, err
+			}
+			h.L1D.SetCycleTime(ctrl.CycleTime())
+		} else {
+			h.L1D.SetCycleTime(cfg.CycleTime)
+		}
+	}
+
+	app, err := apps.New(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	rec := metrics.NewRecorder()
+	ctx := &apps.Context{Space: space, Mem: dataMemory{eng}, Rec: rec, Exec: eng}
+
+	out := &onceResult{rec: rec}
+
+	// Control plane.
+	if inj != nil && inj.planes&PlaneControl != 0 {
+		injector.SetEnabled(true)
+	}
+	if err := app.Setup(ctx, trace); err != nil {
+		if !isFatal(err) {
+			return nil, err
+		}
+		out.fatal = err
+		out.setupDied = true
+		finish(out, eng, h, cfg, ctrl, 0, 0)
+		return out, nil
+	}
+	injector.SetEnabled(false)
+	rec.BeginPackets()
+	setupCycles := eng.totalCycles()
+
+	// Data plane.
+	if inj != nil && inj.planes&PlaneData != 0 {
+		injector.SetEnabled(true)
+	}
+	eng.budget = budget
+	parityMark := uint64(0)
+	processed := 0
+	for i := range trace.Packets {
+		p := &trace.Packets[i]
+		buf, err := dmaPacket(h, p)
+		if err != nil {
+			return nil, err
+		}
+		eng.beginPacket()
+		if err := app.Process(ctx, p, buf); err != nil {
+			if !isFatal(err) {
+				return nil, err
+			}
+			out.fatal = err
+			// The execution is stuck or trapped; the processor spins for
+			// the remainder of the watchdog budget before the run is
+			// declared dead, and those cycles are real (Section 4.1: the
+			// reported figures are based on the packets processed until
+			// the fatal error, over the cycles actually burned).
+			if budget > 0 {
+				if spent := eng.packetInstrs(); spent < budget {
+					eng.core += float64(budget - spent)
+				}
+			}
+			break
+		}
+		rec.EndPacket()
+		processed++
+		if n := eng.packetInstrs(); n > out.maxPacketInstrs {
+			out.maxPacketInstrs = n
+		}
+		if ctrl != nil {
+			newErrors := h.L1D.Recovery.ParityErrors - parityMark
+			parityMark = h.L1D.Recovery.ParityErrors
+			if _, changed := ctrl.PacketDone(newErrors); changed {
+				h.L1D.SetCycleTime(ctrl.CycleTime())
+				out.timeline = append(out.timeline, FreqEvent{Packet: i + 1, CycleTime: ctrl.CycleTime()})
+			}
+		}
+	}
+	finish(out, eng, h, cfg, ctrl, setupCycles, processed)
+	return out, nil
+}
+
+// finish folds the accumulated statistics into the result.
+func finish(out *onceResult, eng *engine, h *cache.Hierarchy, cfg Config, ctrl *freqctl.Controller, setupCycles float64, processed int) {
+	out.cycles = eng.totalCycles()
+	if ctrl != nil {
+		out.cycles += ctrl.PenaltyCycles
+		out.levelPackets = ctrl.LevelPackets
+		out.switches = ctrl.Switches
+	}
+	out.instrs = eng.instrs
+	if processed > 0 {
+		out.delay = (out.cycles - setupCycles) / float64(processed)
+	} else {
+		out.delay = out.cycles // a run that processed nothing: all cost, no packets
+	}
+	out.l1dStats = h.L1D.Stats
+	out.recovery = h.L1D.Recovery
+
+	params := energy.ParamsForL1D(cfg.L1DSize)
+	out.energy = params.Compute(energy.Usage{
+		Cycles:        out.cycles,
+		L1DReadSwing:  h.L1D.Energy.ReadSwing,
+		L1DWriteSwing: h.L1D.Energy.WriteSwing,
+		ParityOn:      cfg.Detection == cache.DetectionParity,
+		ECCOn:         cfg.Detection == cache.DetectionECC,
+		L1IReads:      h.L1I.Stats.Reads,
+		L2Accesses:    h.L2.Stats.Accesses(),
+		MemAccesses:   h.Mem.Stats.Accesses(),
+	})
+}
+
+// isFatal reports whether err is an application-level fatal error (a trap
+// on a corrupted address, a traversal cycle, or a watchdog trip) rather
+// than a simulator bug.
+func isFatal(err error) bool {
+	var ae *simmem.AccessError
+	return errors.As(err, &ae) || errors.Is(err, ErrWatchdog) || errors.Is(err, radix.ErrLoop)
+}
+
+// dmaPacket places one packet (header + payload) into fresh, line-aligned
+// simulated memory, as a NIC's DMA engine would: directly into the backing
+// store, invalidating any stale cached copies of the range (a wild read
+// through a corrupted pointer may have cached lines of the buffer region
+// before the packet arrived).
+func dmaPacket(h *cache.Hierarchy, p *packet.Packet) (simmem.Addr, error) {
+	size := (packet.HeaderLen + len(p.Payload) + 31) &^ 31
+	buf, err := h.Space.Alloc(size, 32)
+	if err != nil {
+		return 0, err
+	}
+	hdr := p.Header()
+	if err := h.DMA(buf, hdr[:]); err != nil {
+		return 0, err
+	}
+	if len(p.Payload) > 0 {
+		if err := h.DMA(buf+packet.HeaderLen, p.Payload); err != nil {
+			return 0, err
+		}
+	}
+	return buf, nil
+}
+
+// autoSpaceBytes sizes the simulated memory for the trace: tables plus all
+// packet buffers plus slack.
+func autoSpaceBytes(trace *packet.Trace) int {
+	total := 8 << 20 // tables, code, queues
+	for i := range trace.Packets {
+		total += (packet.HeaderLen + len(trace.Packets[i].Payload) + 31) &^ 31
+	}
+	// Round to the next MiB for stable layouts across nearby trace sizes.
+	return (total + 1<<20) &^ (1<<20 - 1)
+}

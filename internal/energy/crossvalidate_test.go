@@ -1,0 +1,58 @@
+package energy
+
+import (
+	"testing"
+
+	"clumsy/internal/cacti"
+)
+
+// Cross-validation: the model constants must be mutually consistent with
+// the published figures the paper builds on.
+
+func TestCoreEnergyConsistentWithMontanaro(t *testing.T) {
+	// Montanaro et al.: the StrongARM dissipates ~0.5 W at 160 MHz, i.e.
+	// ~3.1 nJ per cycle for the whole chip. Our CorePerCycle covers the
+	// non-L1D part of the chip, so it must sit below that whole-chip
+	// figure but within the same order of magnitude.
+	p := DefaultParams()
+	const wholeChip = 0.5 / 160e6
+	if p.CorePerCycle >= wholeChip {
+		t.Fatalf("core energy %.3g J/cycle exceeds the whole StrongARM budget %.3g", p.CorePerCycle, wholeChip)
+	}
+	if p.CorePerCycle < wholeChip/20 {
+		t.Fatalf("core energy %.3g J/cycle implausibly small vs %.3g", p.CorePerCycle, wholeChip)
+	}
+}
+
+func TestL1LatencyConsistentWithCactiTiming(t *testing.T) {
+	// The simulator charges 2 core cycles per L1 access (Section 5.1). At
+	// the StrongARM's ~160-233 MHz that is 8.6-12.5 ns; the CACTI-style
+	// access time for the 4 KB array must fit within it (the 2-cycle
+	// figure includes the full load-to-use path, so the array itself
+	// should be comfortably faster).
+	l1d, _, _ := cacti.StrongARMCaches()
+	r := cacti.MustModel(l1d)
+	if r.AccessTime > 12.5e-9 {
+		t.Fatalf("L1 access time %.3g s cannot meet 2 cycles at 160 MHz", r.AccessTime)
+	}
+	if r.AccessTime < 0.2e-9 {
+		t.Fatalf("L1 access time %.3g s implausibly fast for 0.18 um", r.AccessTime)
+	}
+}
+
+func TestParamsForL1DScalesWithSize(t *testing.T) {
+	small := ParamsForL1D(1024)
+	def := ParamsForL1D(0)
+	big := ParamsForL1D(16384)
+	if !(small.L1DRead < def.L1DRead && def.L1DRead < big.L1DRead) {
+		t.Fatalf("read energies not ordered: %g %g %g", small.L1DRead, def.L1DRead, big.L1DRead)
+	}
+	// The core calibration is anchored: geometry sweeps leave it alone.
+	if small.CorePerCycle != def.CorePerCycle || big.CorePerCycle != def.CorePerCycle {
+		t.Fatal("CorePerCycle must not move with L1 geometry")
+	}
+	// The default size short-circuits to DefaultParams.
+	if ParamsForL1D(4096) != def {
+		t.Fatal("4 KB should be identical to the default parameters")
+	}
+}

@@ -1,0 +1,100 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"clumsy/internal/circuit"
+)
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.L1DRead <= 0 || p.L1DWrite <= 0 || p.L1IRead <= 0 || p.L2Access <= 0 || p.MemAccess <= 0 {
+		t.Fatalf("non-positive energy constant: %+v", p)
+	}
+	if p.L2Access <= p.L1DRead {
+		t.Fatal("L2 access should cost more than L1")
+	}
+	if p.MemAccess <= p.L2Access {
+		t.Fatal("memory access should cost more than L2")
+	}
+	if p.ParityReadOverhead != 0.23 || p.ParityWriteOverhead != 0.36 {
+		t.Fatal("parity overheads must match Phelan's figures from the paper")
+	}
+}
+
+func TestL1DShareNearSixteenPercent(t *testing.T) {
+	// At the calibration point (0.4 L1D accesses per cycle, full swing,
+	// no parity, ignoring L1I/L2/memory) the L1D share must be 16%.
+	p := DefaultParams()
+	cycles := 1e6
+	u := Usage{
+		Cycles:       cycles,
+		L1DReadSwing: 0.4 * cycles, // all reads at full swing
+	}
+	b := p.Compute(u)
+	share := b.L1D / (b.L1D + b.Core)
+	if math.Abs(share-0.16) > 0.005 {
+		t.Fatalf("L1D share = %.3f, want 0.16", share)
+	}
+}
+
+func TestSwingScalingMatchesPaperReductions(t *testing.T) {
+	// Section 5.4: cache energy reduces by ~45%, 19%, 6% for Cr = 0.25,
+	// 0.5, 0.75. The swing-weighted accounting must reproduce this.
+	p := DefaultParams()
+	baseline := p.Compute(Usage{L1DReadSwing: 1000}).L1D
+	for _, c := range []struct{ cr, want, tol float64 }{
+		{0.75, 0.06, 0.02},
+		{0.50, 0.19, 0.02},
+		{0.25, 0.45, 0.03},
+	} {
+		scaled := p.Compute(Usage{L1DReadSwing: 1000 * circuit.VoltageSwing(c.cr)}).L1D
+		red := 1 - scaled/baseline
+		if math.Abs(red-c.want) > c.tol {
+			t.Errorf("Cr=%.2f: reduction %.3f, want %.2f±%.2f", c.cr, red, c.want, c.tol)
+		}
+	}
+}
+
+func TestParityOverheadOnlyWhenEnabled(t *testing.T) {
+	p := DefaultParams()
+	u := Usage{L1DReadSwing: 100, L1DWriteSwing: 100}
+	off := p.Compute(u)
+	if off.Parity != 0 {
+		t.Fatal("parity energy without parity")
+	}
+	u.ParityOn = true
+	on := p.Compute(u)
+	wantParity := 100*p.L1DRead*0.23 + 100*p.L1DWrite*0.36
+	if math.Abs(on.Parity-wantParity)/wantParity > 1e-12 {
+		t.Fatalf("parity energy = %v, want %v", on.Parity, wantParity)
+	}
+	if on.Total() <= off.Total() {
+		t.Fatal("parity must increase total energy")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{Core: 1, L1D: 2, Parity: 3, L1I: 4, L2: 5, Mem: 6}
+	if b.Total() != 21 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}
+
+func TestComputeLinearInUsage(t *testing.T) {
+	p := DefaultParams()
+	u := Usage{Cycles: 500, L1DReadSwing: 300, L1DWriteSwing: 200,
+		L1IReads: 400, L2Accesses: 50, MemAccesses: 5, ParityOn: true}
+	double := u
+	double.Cycles *= 2
+	double.L1DReadSwing *= 2
+	double.L1DWriteSwing *= 2
+	double.L1IReads *= 2
+	double.L2Accesses *= 2
+	double.MemAccesses *= 2
+	b1, b2 := p.Compute(u), p.Compute(double)
+	if math.Abs(b2.Total()-2*b1.Total())/b1.Total() > 1e-12 {
+		t.Fatalf("energy not linear: %v vs 2*%v", b2.Total(), b1.Total())
+	}
+}

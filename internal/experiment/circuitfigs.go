@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+
+	"clumsy/internal/circuit"
+)
+
+// Fig1b reproduces the voltage-swing-versus-cycle-time curve of Figure 1(b).
+func Fig1b() *Figure {
+	cr, vsr := circuit.SwingCurve(0.05, 19)
+	return &Figure{
+		Title:  "Figure 1(b): relative voltage swing vs relative cycle time",
+		XLabel: "Cr",
+		YLabel: "Vsr",
+		Series: []Series{{Name: "voltage swing", X: cr, Y: vsr}},
+		Notes: []string{
+			"RC charging curve, k = 2.75; matches the paper's stated cache-energy reductions of 6%/19%/45% at Cr = 0.75/0.5/0.25",
+		},
+	}
+}
+
+// Fig2b reproduces the noise-immunity curves of Figure 2(b): the minimum
+// noise amplitude that flips the SRAM cell as a function of noise duration,
+// one curve per voltage swing.
+func Fig2b() *Figure {
+	cell := circuit.DefaultCell()
+	fig := &Figure{
+		Title:  "Figure 2(b): SRAM noise immunity at various voltage swings",
+		XLabel: "Dr",
+		YLabel: "Ar (critical)",
+	}
+	for _, vsr := range []float64{1.0, 0.8, 0.6, 0.5} {
+		dr, ar := cell.ImmunityCurve(vsr, 24)
+		fig.Series = append(fig.Series, Series{
+			Name: fmt.Sprintf("Vsr = %.1f", vsr), X: dr, Y: ar,
+		})
+	}
+	fig.Notes = append(fig.Notes,
+		"area above each curve causes logic failure; lower swings drop the curve")
+	return fig
+}
+
+// Fig3 reproduces the switching-combination count of Figure 3: how many of
+// the 2^(2n) neighbour switching combinations produce a given aggregate
+// noise amplitude on the victim line (n = 16, the saturation point quoted
+// under Eq. 2).
+func Fig3() *Figure {
+	centers, counts := circuit.SwitchingCases(16, 16, 1.0)
+	return &Figure{
+		Title:  "Figure 3: noise level at various switching combinations (n = 16)",
+		XLabel: "Ar",
+		YLabel: "cases",
+		Series: []Series{{Name: "switching cases", X: centers, Y: counts}},
+		Notes: []string{
+			"decays approximately exponentially (Eq. 1); saturates to P(Ar) = 28.8 e^(-28.8 Ar) (Eq. 2)",
+		},
+	}
+}
+
+// Fig4 reproduces the fault probability versus voltage swing of Figure 4 by
+// integrating the noise distributions over the immunity surface.
+func Fig4() *Figure {
+	cell := circuit.DefaultCell()
+	var xs, ys []float64
+	for vsr := 0.3; vsr <= 1.0001; vsr += 0.05 {
+		xs = append(xs, vsr)
+		ys = append(ys, cell.FaultProbabilityAtSwing(vsr))
+	}
+	return &Figure{
+		Title:  "Figure 4: probability of a fault at various voltage levels",
+		XLabel: "Vsr",
+		YLabel: "P_E",
+		Series: []Series{{Name: "fault probability", X: xs, Y: ys}},
+		Notes: []string{
+			fmt.Sprintf("anchored at P_E(Vsr=1) = %.3g, consistent with the industrial data the paper cites", circuit.BaseFaultProbability),
+		},
+	}
+}
+
+// Fig5 reproduces Figure 5: fault probability versus cycle time, both the
+// integrated model and the fitted closed form (the analogue of Eq. 4).
+func Fig5() *Figure {
+	cell := circuit.DefaultCell()
+	fit := circuit.FitFaultCurve(cell, 0.2, 32)
+	var xs, model, fitted []float64
+	for cr := 0.2; cr <= 1.0001; cr += 0.05 {
+		xs = append(xs, cr)
+		model = append(model, cell.FaultProbability(cr))
+		fitted = append(fitted, fit.Eval(cr))
+	}
+	return &Figure{
+		Title:  "Figure 5: probability of a fault at different cycle times",
+		XLabel: "Cr",
+		YLabel: "P_E",
+		Series: []Series{
+			{Name: "integrated model", X: xs, Y: model},
+			{Name: "fitted formula", X: xs, Y: fitted},
+		},
+		Notes: []string{
+			"fitted closed form (the reproduction's Eq. 4): " + fit.String(),
+			"the clock cycle can shrink to roughly half before the fault rate rises sharply",
+		},
+	}
+}

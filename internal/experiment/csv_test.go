@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "b"},
+		Notes:  []string{"ignored in csv"},
+	}
+	tbl.AddRow("x", "1.5")
+	tbl.AddRow("y", "2.5")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records", len(records))
+	}
+	if records[0][0] != "a" || records[2][1] != "2.5" {
+		t.Fatalf("records = %v", records)
+	}
+}
+
+func TestFigureRenderCSV(t *testing.T) {
+	fig := Fig1b()
+	var buf bytes.Buffer
+	if err := fig.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records[0][0] != "series" || records[0][1] != "Cr" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if len(records) != 1+len(fig.Series[0].X) {
+		t.Fatalf("got %d records, want %d", len(records), 1+len(fig.Series[0].X))
+	}
+	// The last sample is (1, 1).
+	last := records[len(records)-1]
+	if last[1] != "1" || last[2] != "1" {
+		t.Fatalf("last record = %v", last)
+	}
+}
+
+func TestFigureCSVSeriesLabels(t *testing.T) {
+	fig := Fig5() // two series: model and fit
+	var buf bytes.Buffer
+	if err := fig.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "integrated model") || !strings.Contains(out, "fitted formula") {
+		t.Fatal("series labels missing from CSV")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{1: "1", 0.5: "0.5", 2.59e-07: "2.59e-07"}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDVSVoltageModel(t *testing.T) {
+	if dvsVoltage(1) != 1 {
+		t.Fatalf("full-speed voltage ratio = %v", dvsVoltage(1))
+	}
+	prev := dvsVoltage(1)
+	for phi := 0.9; phi >= 0.5; phi -= 0.1 {
+		v := dvsVoltage(phi)
+		if v >= prev || v <= 0.4 {
+			t.Fatalf("voltage at phi=%v is %v", phi, v)
+		}
+		prev = v
+	}
+}
+
+func TestExtDVSRows(t *testing.T) {
+	rows, err := ExtDVS("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+5+3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Approach != "baseline" || rows[0].EDFRel != 1 {
+		t.Fatalf("baseline row = %+v", rows[0])
+	}
+	for _, r := range rows[1:6] {
+		if r.Approach != "dvs" {
+			t.Fatalf("row %+v should be dvs", r)
+		}
+		// DVS trades delay for energy and has no faults.
+		if r.EnergyRel >= 1 || r.DelayRel <= 1 || r.Fallibility != 1 {
+			t.Fatalf("dvs row implausible: %+v", r)
+		}
+		// Under the delay-squared metric DVS loses ground.
+		if r.EDFRel <= 1 {
+			t.Fatalf("dvs should raise EDF^2: %+v", r)
+		}
+	}
+	for _, r := range rows[6:] {
+		if r.Approach != "clumsy" {
+			t.Fatalf("row %+v should be clumsy", r)
+		}
+		if r.EnergyRel >= 1 || r.DelayRel >= 1.05 {
+			t.Fatalf("clumsy row implausible: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	ExtDVSRender("route", rows, small()).Render(&buf)
+	if !strings.Contains(buf.String(), "DVS vs clumsy") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"clumsy/internal/apps"
+	"clumsy/internal/clumsy"
+)
+
+// ErrorSweep holds per-structure error probabilities across operating
+// points for one application under one injection plane, the data behind
+// Figures 6 and 7.
+type ErrorSweep struct {
+	App    string
+	Plane  clumsy.Planes
+	Struct []string             // structure names, sorted
+	Prob   map[string][]float64 // structure -> probability per CycleTimes entry
+	Fatal  []float64            // fatal probability per CycleTimes entry
+}
+
+// ErrorBehaviour runs the Section 5.2 experiment for one application: for
+// each injection plane (control, data, both) and each operating point it
+// measures the error probability of every observed data structure and the
+// fatal-error probability, averaged over trials. No detection scheme is
+// used, as in the paper.
+func ErrorBehaviour(app string, o Options) ([]ErrorSweep, error) {
+	o = o.withDefaults()
+	planes := []clumsy.Planes{clumsy.PlaneControl, clumsy.PlaneData, clumsy.PlaneBoth}
+	out := make([]ErrorSweep, len(planes))
+	err := parallelFor(len(planes), func(pi int) error {
+		plane := planes[pi]
+		sweep := ErrorSweep{App: app, Plane: plane, Prob: map[string][]float64{}}
+		for ci, cr := range CycleTimes {
+			probSum := map[string]float64{}
+			fatalSum := 0.0
+			for trial := 0; trial < o.Trials; trial++ {
+				res, err := clumsy.Run(clumsy.Config{
+					App:        app,
+					Packets:    o.Packets,
+					Seed:       o.trialSeed(trial), // common random numbers across operating points
+					CycleTime:  cr,
+					FaultScale: o.FaultScale,
+					Planes:     plane,
+				})
+				if err != nil {
+					return fmt.Errorf("error sweep %s %v cr=%v: %w", app, plane, cr, err)
+				}
+				for _, name := range res.Report.StructureNames() {
+					probSum[name] += res.Report.ErrorProbability(name)
+				}
+				fatalSum += res.FatalProbability()
+			}
+			for name, sum := range probSum {
+				if _, ok := sweep.Prob[name]; !ok {
+					sweep.Prob[name] = make([]float64, len(CycleTimes))
+				}
+				sweep.Prob[name][ci] = sum / float64(o.Trials)
+			}
+			sweep.Fatal = append(sweep.Fatal, fatalSum/float64(o.Trials))
+		}
+		for name := range sweep.Prob {
+			sweep.Struct = append(sweep.Struct, name)
+		}
+		sort.Strings(sweep.Struct)
+		out[pi] = sweep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ErrorBehaviourRender formats one application's sweep as the three panels
+// of Figure 6/7.
+func ErrorBehaviourRender(sweeps []ErrorSweep, figure string, o Options) []*Table {
+	o = o.withDefaults()
+	var tables []*Table
+	for _, s := range sweeps {
+		t := &Table{
+			Title:  fmt.Sprintf("%s: error probability of %s — faults in %s", figure, s.App, s.Plane),
+			Header: []string{"Structure"},
+			Notes: []string{
+				fmt.Sprintf("%d packets/run, %d trials, fault scale %g, no detection",
+					o.Packets, o.Trials, o.FaultScale),
+			},
+		}
+		for _, cr := range CycleTimes {
+			t.Header = append(t.Header, "Cr="+cycleTimeLabel(cr))
+		}
+		for _, name := range s.Struct {
+			row := []string{name}
+			for ci := range CycleTimes {
+				row = append(row, fmt.Sprintf("%.5f", s.Prob[name][ci]))
+			}
+			t.AddRow(row...)
+		}
+		row := []string{metricFatal}
+		for ci := range CycleTimes {
+			row = append(row, fmt.Sprintf("%.5f", s.Fatal[ci]))
+		}
+		t.AddRow(row...)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+const metricFatal = "fatal error"
+
+// FatalRow is one application's fatal-error probabilities (Figure 8).
+type FatalRow struct {
+	App   string
+	Fatal []float64 // per CycleTimes entry
+}
+
+// Fig8 measures the fatal-error probability of every application across
+// operating points with no detection scheme, faults in both planes.
+func Fig8(o Options) ([]FatalRow, error) {
+	o = o.withDefaults()
+	names := apps.Names()
+	rows := make([]FatalRow, len(names))
+	err := parallelFor(len(names), func(ai int) error {
+		name := names[ai]
+		row := FatalRow{App: name}
+		for _, cr := range CycleTimes {
+			sum := 0.0
+			for trial := 0; trial < o.Trials; trial++ {
+				res, err := clumsy.Run(clumsy.Config{
+					App:        name,
+					Packets:    o.Packets,
+					Seed:       o.trialSeed(trial), // common random numbers across operating points
+					CycleTime:  cr,
+					FaultScale: o.FaultScale,
+				})
+				if err != nil {
+					return fmt.Errorf("fig8 %s cr=%v: %w", name, cr, err)
+				}
+				sum += res.FatalProbability()
+			}
+			row.Fatal = append(row.Fatal, sum/float64(o.Trials))
+		}
+		rows[ai] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Fig8Render formats the fatal-error matrix like Figure 8, including the
+// across-application average.
+func Fig8Render(rows []FatalRow, o Options) *Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:  "Figure 8: fatal error probabilities for different clock rates (no detection)",
+		Header: []string{"App"},
+		Notes: []string{
+			fmt.Sprintf("%d packets/run, %d trials, fault scale %g", o.Packets, o.Trials, o.FaultScale),
+			"with parity detection enabled the reproduction, like the paper, observes no fatal errors",
+		},
+	}
+	for _, cr := range CycleTimes {
+		t.Header = append(t.Header, "Cr="+cycleTimeLabel(cr))
+	}
+	avg := make([]float64, len(CycleTimes))
+	for _, r := range rows {
+		row := []string{r.App}
+		for ci := range CycleTimes {
+			row = append(row, fmt.Sprintf("%.5f", r.Fatal[ci]))
+			avg[ci] += r.Fatal[ci]
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"avrg"}
+	for ci := range CycleTimes {
+		row = append(row, fmt.Sprintf("%.5f", avg[ci]/float64(len(rows))))
+	}
+	t.AddRow(row...)
+	return t
+}

@@ -1,0 +1,68 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Table I, Figures 1–12). Each experiment returns structured
+// data that the CLI and the benchmark harness render as text; DESIGN.md
+// maps experiment identifiers to the modules they exercise.
+package experiment
+
+import (
+	"fmt"
+
+	"clumsy/internal/metrics"
+)
+
+// Options scale the simulation experiments. The defaults trade an
+// afternoon-scale simulation campaign for a minutes-scale one while keeping
+// the statistics meaningful; raise Packets and Trials to tighten the error
+// bars.
+type Options struct {
+	Packets    int     // packets per run
+	Trials     int     // independent seeds averaged per configuration
+	FaultScale float64 // fault-rate multiplier (1 = the paper's physical rate)
+	Exponents  metrics.EDFExponents
+	Seed       uint64 // base experiment seed
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{
+		Packets:    2000,
+		Trials:     3,
+		FaultScale: 1,
+		Exponents:  metrics.DefaultExponents(),
+		Seed:       1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Packets <= 0 {
+		o.Packets = d.Packets
+	}
+	if o.Trials <= 0 {
+		o.Trials = d.Trials
+	}
+	if o.FaultScale <= 0 {
+		o.FaultScale = d.FaultScale
+	}
+	if o.Exponents == (metrics.EDFExponents{}) {
+		o.Exponents = d.Exponents
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// trialSeed derives the seed of one trial.
+func (o Options) trialSeed(trial int) uint64 {
+	return o.Seed*0x9e3779b9 + uint64(trial)*0x85ebca6b + 1
+}
+
+// CycleTimes are the paper's operating points, slowest first.
+var CycleTimes = []float64{1, 0.75, 0.5, 0.25}
+
+// cycleTimeLabel renders an operating point the way the figures do
+// (relative clock cycle in percent).
+func cycleTimeLabel(cr float64) string {
+	return fmt.Sprintf("%g%%", cr*100)
+}

@@ -1,0 +1,257 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small returns cheap options for unit tests.
+func small() Options { return Options{Packets: 200, Trials: 1, Seed: 3} }
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Packets <= 0 || o.Trials <= 0 || o.FaultScale != 1 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	var zero Options
+	d := zero.withDefaults()
+	if d.Packets != o.Packets || d.Exponents != o.Exponents {
+		t.Fatalf("withDefaults mismatch: %+v vs %+v", d, o)
+	}
+}
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	o := DefaultOptions()
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		s := o.trialSeed(i)
+		if seen[s] {
+			t.Fatalf("duplicate trial seed %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	f := Fig1b()
+	s := f.Series[0]
+	if len(s.X) != len(s.Y) || len(s.X) < 10 {
+		t.Fatalf("bad series lengths %d/%d", len(s.X), len(s.Y))
+	}
+	if s.Y[len(s.Y)-1] != 1 {
+		t.Fatalf("swing at Cr=1 should be 1, got %v", s.Y[len(s.Y)-1])
+	}
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] <= s.Y[i-1] {
+			t.Fatal("swing curve must increase with cycle time")
+		}
+	}
+}
+
+func TestFig2bOrdering(t *testing.T) {
+	f := Fig2b()
+	if len(f.Series) != 4 {
+		t.Fatalf("want 4 swing curves, got %d", len(f.Series))
+	}
+	// Curves at lower swings must lie strictly below the full-swing curve.
+	full := f.Series[0]
+	for _, s := range f.Series[1:] {
+		for i := range s.Y {
+			if s.Y[i] >= full.Y[i] {
+				t.Fatalf("curve %s not below full swing at index %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestFig3Decays(t *testing.T) {
+	f := Fig3()
+	y := f.Series[0].Y
+	if y[0] <= y[len(y)-1] {
+		t.Fatal("switching-case counts should decay with amplitude")
+	}
+	total := 0.0
+	for _, v := range y {
+		total += v
+	}
+	if total != 1<<32 { // 4^16
+		t.Fatalf("total switching cases = %v, want 2^32", total)
+	}
+}
+
+func TestFig4And5Consistent(t *testing.T) {
+	f4 := Fig4()
+	f5 := Fig5()
+	// Fig 4 decreases with swing; Fig 5's model decreases with cycle time.
+	y4 := f4.Series[0].Y
+	for i := 1; i < len(y4); i++ {
+		if y4[i] >= y4[i-1] {
+			t.Fatal("fault probability should fall as swing rises")
+		}
+	}
+	y5 := f5.Series[0].Y
+	for i := 1; i < len(y5); i++ {
+		if y5[i] >= y5[i-1] {
+			t.Fatal("fault probability should fall as cycle time rises")
+		}
+	}
+	if len(f5.Series) != 2 {
+		t.Fatal("figure 5 should carry the model and the fitted formula")
+	}
+	if !strings.Contains(strings.Join(f5.Notes, " "), "P_E") {
+		t.Fatal("figure 5 should state the fitted formula")
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	rows, err := Table1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 applications, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.InstrsM <= 0 || r.CacheAccessesM <= 0 {
+			t.Errorf("%s: empty workload figures %+v", r.App, r)
+		}
+		if r.MissRate <= 0 || r.MissRate >= 0.5 {
+			t.Errorf("%s: implausible miss rate %v", r.App, r.MissRate)
+		}
+		if r.FallibilityC50 < 1 || r.FallibilityC25 < r.FallibilityC50-0.2 {
+			t.Errorf("%s: fallibility ordering broken: %v vs %v", r.App, r.FallibilityC50, r.FallibilityC25)
+		}
+	}
+	var buf bytes.Buffer
+	Table1Render(rows, small()).Render(&buf)
+	out := buf.String()
+	for _, frag := range []string{"Table I", "crc", "url", "Fallibility"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered table missing %q", frag)
+		}
+	}
+}
+
+func TestErrorBehaviourPanels(t *testing.T) {
+	sweeps, err := ErrorBehaviour("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 3 {
+		t.Fatalf("want control/data/both panels, got %d", len(sweeps))
+	}
+	for _, s := range sweeps {
+		if len(s.Fatal) != len(CycleTimes) {
+			t.Fatalf("panel %v has %d fatal entries", s.Plane, len(s.Fatal))
+		}
+		if len(s.Struct) == 0 {
+			t.Fatalf("panel %v observed no structures", s.Plane)
+		}
+		for _, name := range s.Struct {
+			if len(s.Prob[name]) != len(CycleTimes) {
+				t.Fatalf("structure %s has %d probabilities", name, len(s.Prob[name]))
+			}
+		}
+	}
+	tables := ErrorBehaviourRender(sweeps, "Figure 6", small())
+	if len(tables) != 3 {
+		t.Fatalf("want 3 rendered panels, got %d", len(tables))
+	}
+	var buf bytes.Buffer
+	tables[0].Render(&buf)
+	if !strings.Contains(buf.String(), "control plane") {
+		t.Error("first panel should be the control-plane injection")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Fatal) != len(CycleTimes) {
+			t.Fatalf("%s has %d entries", r.App, len(r.Fatal))
+		}
+		for _, p := range r.Fatal {
+			if p < 0 || p > 1 {
+				t.Fatalf("%s fatal probability %v out of range", r.App, p)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	Fig8Render(rows, small()).Render(&buf)
+	if !strings.Contains(buf.String(), "avrg") {
+		t.Error("figure 8 should include the average row")
+	}
+}
+
+func TestEDFGridNormalisation(t *testing.T) {
+	r, err := EDFGrid("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != len(Schemes())*len(Settings()) {
+		t.Fatalf("grid has %d cells", len(r.Cells))
+	}
+	base := r.Cell("no detection", "1")
+	if base == nil || base.Relative != 1 {
+		t.Fatalf("baseline cell = %+v, want relative 1", base)
+	}
+	for _, c := range r.Cells {
+		if c.Relative <= 0 {
+			t.Fatalf("cell %s/%s has non-positive EDF", c.Scheme, c.Setting)
+		}
+	}
+	best := r.Best()
+	if best.Relative > 1 {
+		t.Fatalf("some configuration should beat the baseline, best = %+v", best)
+	}
+	var buf bytes.Buffer
+	EDFRender(r, "Fig9a", small()).Render(&buf)
+	if !strings.Contains(buf.String(), "two strikes") {
+		t.Error("rendered grid missing scheme rows")
+	}
+}
+
+func TestEDFAverageMath(t *testing.T) {
+	a := &EDFResult{App: "a", Cells: []EDFCell{{Scheme: "s", Setting: "1", Relative: 1, Energy: 2, Delay: 4, Fall: 1}}}
+	b := &EDFResult{App: "b", Cells: []EDFCell{{Scheme: "s", Setting: "1", Relative: 3, Energy: 4, Delay: 8, Fall: 1.5, Fatal: true}}}
+	avg := EDFAverage([]*EDFResult{a, b})
+	if avg.App != "average" || len(avg.Cells) != 1 {
+		t.Fatalf("average = %+v", avg)
+	}
+	c := avg.Cells[0]
+	if c.Relative != 2 || c.Energy != 3 || c.Delay != 6 || c.Fall != 1.25 || !c.Fatal {
+		t.Fatalf("cell = %+v", c)
+	}
+	empty := EDFAverage(nil)
+	if empty.App != "average" || len(empty.Cells) != 0 {
+		t.Fatalf("empty average = %+v", empty)
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}, Notes: []string{"n"}}
+	tbl.AddRow("xxxx", "y")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "xxxx  y") {
+		t.Fatalf("unaligned output:\n%s", out)
+	}
+	if !strings.Contains(out, "note: n") {
+		t.Error("missing note")
+	}
+	fig := &Figure{Title: "F", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}}
+	buf.Reset()
+	fig.Render(&buf)
+	if !strings.Contains(buf.String(), "-- s --") {
+		t.Error("figure series header missing")
+	}
+}

@@ -1,0 +1,258 @@
+package experiment
+
+import (
+	"fmt"
+
+	"clumsy/internal/cache"
+	"clumsy/internal/clumsy"
+	"clumsy/internal/metrics"
+)
+
+// Extensions: experiments beyond the paper's evaluation, covering the
+// alternatives the paper mentions but sets aside — SEC-DED error
+// correction (Section 4: "error correction techniques would incur
+// unnecessary complication and energy"), sub-block invalidation
+// (footnote 2), and the weighted energy^k-delay^m-fallibility^n metric
+// family (Section 4.1).
+
+// DetectionCell summarises one detection scheme at one operating point.
+type DetectionCell struct {
+	Detection   cache.Detection
+	CycleTime   float64
+	RelativeEDF float64
+	Fallibility float64
+	Corrected   uint64 // ECC in-place corrections
+	Recoveries  uint64
+	Fatal       bool
+}
+
+// ExtDetection compares no detection, parity, and SEC-DED ECC (all with
+// two-strike recovery for the detected-uncorrectable path) across the
+// operating points, answering the question the paper raised and skipped:
+// is the energy cost of correction ever worth it?
+func ExtDetection(app string, o Options) ([]DetectionCell, error) {
+	if o.FaultScale == 0 {
+		o.FaultScale = EDFFaultScale
+	}
+	o = o.withDefaults()
+	detections := []cache.Detection{cache.DetectionNone, cache.DetectionParity, cache.DetectionECC}
+	var cells []DetectionCell
+	var baseline float64
+	for _, det := range detections {
+		for _, cr := range CycleTimes {
+			cell := DetectionCell{Detection: det, CycleTime: cr}
+			var edfSum, fallSum float64
+			for trial := 0; trial < o.Trials; trial++ {
+				res, err := clumsy.Run(clumsy.Config{
+					App:        app,
+					Packets:    o.Packets,
+					Seed:       o.trialSeed(trial),
+					CycleTime:  cr,
+					Detection:  det,
+					Strikes:    2,
+					FaultScale: o.FaultScale,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("ext-detection %s %v cr=%v: %w", app, det, cr, err)
+				}
+				edfSum += res.EDF(o.Exponents)
+				fallSum += res.Fallibility()
+				cell.Corrected += res.Recovery.Corrected
+				cell.Recoveries += res.Recovery.Recoveries
+				cell.Fatal = cell.Fatal || res.Report.Fatal
+			}
+			cell.RelativeEDF = edfSum / float64(o.Trials)
+			cell.Fallibility = fallSum / float64(o.Trials)
+			if det == cache.DetectionNone && cr == 1 {
+				baseline = cell.RelativeEDF
+			}
+			cells = append(cells, cell)
+		}
+	}
+	for i := range cells {
+		cells[i].RelativeEDF /= baseline
+	}
+	return cells, nil
+}
+
+// ExtDetectionRender formats the detection comparison.
+func ExtDetectionRender(app string, cells []DetectionCell, o Options) *Table {
+	if o.FaultScale == 0 {
+		o.FaultScale = EDFFaultScale
+	}
+	o = o.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Extension: detection schemes for %s — relative EDF^2 (two-strike recovery)", app),
+		Header: []string{"Detection"},
+		Notes: []string{
+			fmt.Sprintf("%d packets/run, %d trials, fault scale %g; ECC corrects single-bit faults in place at +60%%/+80%% read/write energy",
+				o.Packets, o.Trials, o.FaultScale),
+		},
+	}
+	for _, cr := range CycleTimes {
+		t.Header = append(t.Header, "Cr="+cycleTimeLabel(cr))
+	}
+	t.Header = append(t.Header, "corrected", "recoveries")
+	byDet := map[cache.Detection][]DetectionCell{}
+	for _, c := range cells {
+		byDet[c.Detection] = append(byDet[c.Detection], c)
+	}
+	for _, det := range []cache.Detection{cache.DetectionNone, cache.DetectionParity, cache.DetectionECC} {
+		row := []string{det.String()}
+		var corrected, recoveries uint64
+		for _, c := range byDet[det] {
+			cell := fmt.Sprintf("%.3f", c.RelativeEDF)
+			if c.Fatal {
+				cell += "*"
+			}
+			row = append(row, cell)
+			corrected += c.Corrected
+			recoveries += c.Recoveries
+		}
+		row = append(row, fmt.Sprintf("%d", corrected), fmt.Sprintf("%d", recoveries))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SubBlockCell compares full-line and sub-block recovery at one point.
+type SubBlockCell struct {
+	CycleTime    float64
+	FullEDF      float64 // relative EDF, full-line invalidation
+	SubEDF       float64 // relative EDF, sub-block recovery
+	FullL2       uint64  // L2 accesses under full-line recovery
+	SubL2        uint64  // L2 accesses under sub-block recovery
+	FullRecovers uint64
+	SubRecovers  uint64
+}
+
+// ExtSubBlock measures the footnote-2 extension: recovering single words
+// from the L2 instead of invalidating whole lines, under parity with
+// two-strike recovery.
+func ExtSubBlock(app string, o Options) ([]SubBlockCell, error) {
+	if o.FaultScale == 0 {
+		o.FaultScale = EDFFaultScale
+	}
+	o = o.withDefaults()
+	var cells []SubBlockCell
+	var baseline float64
+	for _, cr := range CycleTimes {
+		cell := SubBlockCell{CycleTime: cr}
+		for _, sub := range []bool{false, true} {
+			var edfSum float64
+			var l2, rec uint64
+			for trial := 0; trial < o.Trials; trial++ {
+				res, err := clumsy.Run(clumsy.Config{
+					App:        app,
+					Packets:    o.Packets,
+					Seed:       o.trialSeed(trial),
+					CycleTime:  cr,
+					Detection:  cache.DetectionParity,
+					Strikes:    2,
+					SubBlock:   sub,
+					FaultScale: o.FaultScale,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("ext-subblock %s cr=%v: %w", app, cr, err)
+				}
+				edfSum += res.EDF(o.Exponents)
+				rec += res.Recovery.Recoveries
+				l2 += res.L1DStats.ReadMisses + res.L1DStats.WriteMisses + res.L1DStats.Writebacks + res.Recovery.Recoveries
+			}
+			if sub {
+				cell.SubEDF = edfSum / float64(o.Trials)
+				cell.SubL2 = l2
+				cell.SubRecovers = rec
+			} else {
+				cell.FullEDF = edfSum / float64(o.Trials)
+				cell.FullL2 = l2
+				cell.FullRecovers = rec
+			}
+		}
+		if cr == 1 {
+			baseline = cell.FullEDF
+		}
+		cells = append(cells, cell)
+	}
+	for i := range cells {
+		cells[i].FullEDF /= baseline
+		cells[i].SubEDF /= baseline
+	}
+	return cells, nil
+}
+
+// ExtSubBlockRender formats the sub-block comparison.
+func ExtSubBlockRender(app string, cells []SubBlockCell, o Options) *Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title: fmt.Sprintf("Extension: sub-block recovery for %s (parity, two-strike)", app),
+		Header: []string{"Cr", "EDF full-line", "EDF sub-block",
+			"L2 traffic full", "L2 traffic sub", "recoveries full", "recoveries sub"},
+		Notes: []string{
+			"footnote 2 of the paper: invalidating only the affected word keeps dirty neighbours and avoids write-backs",
+			fmt.Sprintf("%d packets/run, %d trials", o.Packets, o.Trials),
+		},
+	}
+	for _, c := range cells {
+		t.AddRow(cycleTimeLabel(c.CycleTime),
+			fmt.Sprintf("%.3f", c.FullEDF),
+			fmt.Sprintf("%.3f", c.SubEDF),
+			fmt.Sprintf("%d", c.FullL2),
+			fmt.Sprintf("%d", c.SubL2),
+			fmt.Sprintf("%d", c.FullRecovers),
+			fmt.Sprintf("%d", c.SubRecovers))
+	}
+	return t
+}
+
+// ExponentRow records the winning configuration under one EDF weighting.
+type ExponentRow struct {
+	Exponents metrics.EDFExponents
+	Best      EDFCell
+}
+
+// ExtExponents explores the energy^k-delay^m-fallibility^n family of
+// Section 4.1: different architectures weight the three axes differently,
+// and the winning configuration moves with the weights.
+func ExtExponents(app string, o Options) ([]ExponentRow, error) {
+	weightings := []metrics.EDFExponents{
+		{K: 1, M: 1, N: 1}, // classic EDP with errors
+		{K: 1, M: 2, N: 2}, // the paper's choice
+		{K: 1, M: 2, N: 0}, // ignore errors entirely (pure energy-delay^2)
+		{K: 2, M: 1, N: 2}, // battery-bound wireless node
+		{K: 1, M: 1, N: 4}, // error-critical deployment
+	}
+	var rows []ExponentRow
+	for _, e := range weightings {
+		opts := o
+		opts.Exponents = e
+		grid, err := EDFGrid(app, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExponentRow{Exponents: e, Best: grid.Best()})
+	}
+	return rows, nil
+}
+
+// ExtExponentsRender formats the weighting sensitivity study.
+func ExtExponentsRender(app string, rows []ExponentRow, o Options) *Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Extension: metric-weighting sensitivity for %s", app),
+		Header: []string{"k (energy)", "m (delay)", "n (fallibility)", "best scheme", "best setting", "relative EDF"},
+		Notes: []string{
+			"Section 4.1: the product can be weighted energy^k-delay^m-fallibility^n to the architecture's needs",
+			fmt.Sprintf("%d packets/run, %d trials", o.Packets, o.Trials),
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%g", r.Exponents.K),
+			fmt.Sprintf("%g", r.Exponents.M),
+			fmt.Sprintf("%g", r.Exponents.N),
+			r.Best.Scheme, r.Best.Setting,
+			fmt.Sprintf("%.3f", r.Best.Relative))
+	}
+	return t
+}

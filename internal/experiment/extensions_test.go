@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clumsy/internal/cache"
+)
+
+func TestExtDetectionGrid(t *testing.T) {
+	cells, err := ExtDetection("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3*len(CycleTimes) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	// Baseline normalisation: no detection at Cr=1 is exactly 1.
+	for _, c := range cells {
+		if c.Detection == cache.DetectionNone && c.CycleTime == 1 {
+			if c.RelativeEDF != 1 {
+				t.Fatalf("baseline = %v", c.RelativeEDF)
+			}
+		}
+		if c.RelativeEDF <= 0 {
+			t.Fatalf("non-positive EDF for %v at %v", c.Detection, c.CycleTime)
+		}
+	}
+	// ECC corrects; parity does not.
+	var eccCorrected, parityCorrected uint64
+	for _, c := range cells {
+		switch c.Detection {
+		case cache.DetectionECC:
+			eccCorrected += c.Corrected
+		case cache.DetectionParity:
+			parityCorrected += c.Corrected
+		}
+	}
+	if eccCorrected == 0 {
+		t.Error("ECC corrected nothing at the amplified rate")
+	}
+	if parityCorrected != 0 {
+		t.Error("parity must not correct")
+	}
+	var buf bytes.Buffer
+	ExtDetectionRender("route", cells, small()).Render(&buf)
+	for _, frag := range []string{"ecc", "parity", "no detection", "corrected"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestExtSubBlock(t *testing.T) {
+	cells, err := ExtSubBlock("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(CycleTimes) {
+		t.Fatalf("got %d rows", len(cells))
+	}
+	if cells[0].FullEDF != 1 {
+		t.Fatalf("baseline EDF = %v", cells[0].FullEDF)
+	}
+	for _, c := range cells {
+		if c.SubEDF <= 0 || c.FullEDF <= 0 {
+			t.Fatalf("non-positive EDF at Cr=%v", c.CycleTime)
+		}
+	}
+	var buf bytes.Buffer
+	ExtSubBlockRender("route", cells, small()).Render(&buf)
+	if !strings.Contains(buf.String(), "sub-block") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtExponents(t *testing.T) {
+	rows, err := ExtExponents("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d weightings", len(rows))
+	}
+	for _, r := range rows {
+		if r.Best.Scheme == "" || r.Best.Setting == "" {
+			t.Fatalf("empty best cell for %+v", r.Exponents)
+		}
+		if r.Best.Relative <= 0 {
+			t.Fatalf("non-positive best EDF for %+v", r.Exponents)
+		}
+	}
+	// The paper's weighting must be among the rows.
+	found := false
+	for _, r := range rows {
+		if r.Exponents.K == 1 && r.Exponents.M == 2 && r.Exponents.N == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the paper's (1,2,2) weighting missing")
+	}
+	var buf bytes.Buffer
+	ExtExponentsRender("route", rows, small()).Render(&buf)
+	if !strings.Contains(buf.String(), "fallibility") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtGeometry(t *testing.T) {
+	cells, err := ExtGeometry("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3*len(CycleTimes) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	missBySize := map[int]float64{}
+	for _, c := range cells {
+		if c.RelativeEDF <= 0 {
+			t.Fatalf("non-positive EDF at size %d cr %v", c.SizeBytes, c.CycleTime)
+		}
+		if c.CycleTime == 1 {
+			if c.RelativeEDF != 1 {
+				t.Fatalf("size %d baseline = %v", c.SizeBytes, c.RelativeEDF)
+			}
+			missBySize[c.SizeBytes] = c.MissRate
+		}
+	}
+	// Bigger caches miss less.
+	if !(missBySize[1024] > missBySize[4096] && missBySize[4096] > missBySize[16384]) {
+		t.Fatalf("miss rates not ordered by size: %v", missBySize)
+	}
+	var buf bytes.Buffer
+	ExtGeometryRender("route", cells, small()).Render(&buf)
+	if !strings.Contains(buf.String(), "16 KB") {
+		t.Error("render missing size rows")
+	}
+}
+
+func TestExtTuning(t *testing.T) {
+	cells, err := ExtTuning("route", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(TuningX1)*len(TuningX2) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	centre := false
+	for _, c := range cells {
+		if c.RelativeEDF <= 0 {
+			t.Fatalf("non-positive EDF at X1=%v X2=%v", c.X1, c.X2)
+		}
+		if c.X1 == 2.0 && c.X2 == 0.8 {
+			centre = true
+		}
+	}
+	if !centre {
+		t.Fatal("the paper's X1=200%/X2=80% point missing from the sweep")
+	}
+	var buf bytes.Buffer
+	ExtTuningRender("route", cells, small()).Render(&buf)
+	if !strings.Contains(buf.String(), "threshold study") {
+		t.Error("render missing title")
+	}
+}
+
+func TestVerifyClaims(t *testing.T) {
+	claims, err := VerifyClaims(Options{Packets: 400, Trials: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != 7 {
+		t.Fatalf("got %d claims", len(claims))
+	}
+	// The circuit-model claims are scale-independent and must always pass.
+	for _, c := range claims[:2] {
+		if !c.Pass {
+			t.Errorf("claim %q failed: %s", c.Name, c.Detail)
+		}
+	}
+	for _, c := range claims {
+		if c.Detail == "" {
+			t.Errorf("claim %q has no measured detail", c.Name)
+		}
+	}
+	var buf bytes.Buffer
+	VerifyRender(claims, Options{}).Render(&buf)
+	if !strings.Contains(buf.String(), "Claims regression") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForVisitsEveryIndex(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 100
+	var hits [n]int32
+	if err := parallelFor(n, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	boom := errors.New("boom")
+	err := parallelFor(50, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParallelForSerialFallback(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	order := []int{}
+	if err := parallelFor(5, func(i int) error {
+		order = append(order, i) // safe: serial path
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+func TestParallelForZero(t *testing.T) {
+	if err := parallelFor(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal("zero-length loop should not invoke fn")
+	}
+}

@@ -1,0 +1,123 @@
+package fault
+
+import "math"
+
+// Injector realises the fault process for a stream of fixed-width cache
+// accesses. Instead of drawing a Bernoulli sample per access, it draws the
+// gap to the next faulty access from the geometric distribution — an exact
+// reformulation of the independent-access process that makes rates around
+// 1e-7 essentially free to simulate.
+//
+// The injector can be enabled and disabled (the control-plane/data-plane
+// fault experiments of Section 5.2 inject faults into only one execution
+// segment); while disabled, accesses pass through untouched and do not
+// advance the fault process.
+type Injector struct {
+	model   *Model
+	rng     *RNG
+	bits    int
+	cr      float64
+	rate    float64
+	skip    int64 // fault-free accesses remaining before the next fault
+	enabled bool
+
+	// Counters for the run reports and the dynamic frequency controller.
+	Accesses uint64 // accesses observed while enabled
+	Events   uint64 // fault events injected
+	BitFlips uint64 // total bits flipped
+}
+
+// NewInjector returns an enabled injector for accesses of the given bit
+// width, operating at full-swing cycle time (Cr = 1).
+func NewInjector(m *Model, rng *RNG, bits int) *Injector {
+	if bits <= 0 || bits > 64 {
+		panic("fault: access width out of range")
+	}
+	in := &Injector{model: m, rng: rng, bits: bits, enabled: true}
+	in.SetCycleTime(1)
+	return in
+}
+
+// SetCycleTime moves the injector to a new relative cycle time. The gap to
+// the next fault is redrawn at the new rate; by the memorylessness of the
+// geometric distribution this is statistically equivalent to continuing the
+// process at the new rate.
+func (in *Injector) SetCycleTime(cr float64) {
+	in.cr = cr
+	in.rate = in.model.EventRate(cr, in.bits)
+	in.redraw()
+}
+
+// CycleTime returns the injector's current relative cycle time.
+func (in *Injector) CycleTime() float64 { return in.cr }
+
+// SetEnabled turns fault injection on or off.
+func (in *Injector) SetEnabled(on bool) { in.enabled = on }
+
+// Enabled reports whether faults are currently being injected.
+func (in *Injector) Enabled() bool { return in.enabled }
+
+func (in *Injector) redraw() {
+	if in.rate <= 0 {
+		in.skip = math.MaxInt64
+		return
+	}
+	if in.rate >= 1 {
+		in.skip = 0
+		return
+	}
+	u := in.rng.Float64()
+	for u == 0 {
+		u = in.rng.Float64()
+	}
+	// Number of fault-free accesses before the next fault: geometric.
+	g := math.Floor(math.Log(u) / math.Log(1-in.rate))
+	if g >= math.MaxInt64 || g < 0 {
+		in.skip = math.MaxInt64
+		return
+	}
+	in.skip = int64(g)
+}
+
+// Next advances the fault process by one access and returns the fault mask
+// to XOR into the accessed word: zero for the overwhelming majority of
+// accesses, or a mask with one, two, or three set bits on a fault event
+// (with the correlated probabilities of the model).
+func (in *Injector) Next() uint64 {
+	if !in.enabled {
+		return 0
+	}
+	in.Accesses++
+	if in.skip > 0 {
+		in.skip--
+		return 0
+	}
+	in.redraw()
+	in.Events++
+
+	// Choose the multiplicity of the event.
+	n := 1
+	u := in.rng.Float64() * (1 + DoubleBitRatio + TripleBitRatio)
+	switch {
+	case u > 1+DoubleBitRatio:
+		n = 3
+	case u > 1:
+		n = 2
+	}
+	var mask uint64
+	for flipped := 0; flipped < n; {
+		b := uint(in.rng.Intn(in.bits))
+		if mask&(1<<b) == 0 {
+			mask |= 1 << b
+			flipped++
+		}
+	}
+	in.BitFlips += uint64(n)
+	return mask
+}
+
+// ResetCounters clears the access and fault counters (the dynamic
+// frequency controller reads and resets them per epoch).
+func (in *Injector) ResetCounters() {
+	in.Accesses, in.Events, in.BitFlips = 0, 0, 0
+}

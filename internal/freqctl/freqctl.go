@@ -1,0 +1,196 @@
+// Package freqctl implements the dynamic frequency-adaptation scheme of
+// Section 4: the processor observes parity failures over execution epochs
+// of a fixed number of packets and steps the data-cache clock up or down
+// through discrete frequency levels.
+//
+// After each epoch the fault count is compared with the count stored at the
+// last frequency change: more than X1 (200%) of the stored rate steps the
+// frequency down (toward safety), less than X2 (80%) steps it up (toward
+// speed), anything between leaves it alone. Each change costs a small cycle
+// penalty; no cache flush is needed.
+package freqctl
+
+import "errors"
+
+// Defaults from the paper.
+const (
+	DefaultEpochPackets  = 100  // decision interval, in packets
+	DefaultX1            = 2.0  // decrease-frequency threshold (200%)
+	DefaultX2            = 0.8  // increase-frequency threshold (80%)
+	DefaultSwitchPenalty = 10.0 // cycles per frequency change
+)
+
+// DefaultLevels are the available relative cycle times, fastest last:
+// full frequency and the +50%, +100%, +300% over-clocked settings
+// (Cr = 0.75, 0.5, 0.25).
+func DefaultLevels() []float64 { return []float64{1, 0.75, 0.5, 0.25} }
+
+// Decision reports the outcome of an epoch boundary.
+type Decision int
+
+const (
+	Keep Decision = iota
+	SpeedUp
+	SlowDown
+)
+
+func (d Decision) String() string {
+	switch d {
+	case SpeedUp:
+		return "speed up"
+	case SlowDown:
+		return "slow down"
+	default:
+		return "keep"
+	}
+}
+
+// Controller is the adaptation state machine.
+type Controller struct {
+	levels        []float64 // descending cycle times (increasing frequency)
+	epochPackets  int
+	x1, x2        float64
+	switchPenalty float64
+
+	idx            int    // current level index
+	storedFaults   uint64 // fault count at the last frequency change
+	primed         bool   // a non-zero reference count has been stored
+	packetsInEpoch int
+	faultsInEpoch  uint64
+
+	// Back-off: after a slow-down the controller waits a growing number
+	// of epochs before probing a faster level again. This keeps the
+	// scheme "mostly in the Cr = 0.5 region" (Section 5.4) instead of
+	// bouncing 1:1 across the fault-rate knee.
+	cooldown      int
+	sinceSlowdown int
+
+	// Switches counts frequency changes; PenaltyCycles accumulates the
+	// switching cost, to be added to the run's execution cycles.
+	Switches      int
+	PenaltyCycles float64
+	// LevelPackets records how many packets were processed at each level,
+	// for reports such as "the dynamic scheme stays mostly in the Cr=0.5
+	// region" (Section 5.4).
+	LevelPackets []uint64
+}
+
+// New returns a controller with the paper's default parameters, starting at
+// full-swing operation (the first level).
+func New() *Controller {
+	c, err := NewWith(DefaultLevels(), DefaultEpochPackets, DefaultX1, DefaultX2, DefaultSwitchPenalty)
+	if err != nil {
+		panic(err) // defaults are valid by construction
+	}
+	return c
+}
+
+// NewWith returns a controller with explicit parameters. Levels must be
+// given in strictly decreasing cycle-time order... i.e. strictly increasing
+// frequency; the controller starts at levels[0].
+func NewWith(levels []float64, epochPackets int, x1, x2, switchPenalty float64) (*Controller, error) {
+	if len(levels) < 2 {
+		return nil, errors.New("freqctl: need at least two frequency levels")
+	}
+	for i, l := range levels {
+		if l <= 0 {
+			return nil, errors.New("freqctl: non-positive cycle time level")
+		}
+		if i > 0 && l >= levels[i-1] {
+			return nil, errors.New("freqctl: levels must strictly decrease in cycle time")
+		}
+	}
+	if epochPackets < 1 {
+		return nil, errors.New("freqctl: epoch must cover at least one packet")
+	}
+	if x1 <= x2 || x2 < 0 {
+		return nil, errors.New("freqctl: thresholds must satisfy 0 <= X2 < X1")
+	}
+	if switchPenalty < 0 {
+		return nil, errors.New("freqctl: negative switch penalty")
+	}
+	return &Controller{
+		levels:        levels,
+		epochPackets:  epochPackets,
+		x1:            x1,
+		x2:            x2,
+		switchPenalty: switchPenalty,
+		LevelPackets:  make([]uint64, len(levels)),
+	}, nil
+}
+
+// CycleTime returns the currently selected relative cycle time.
+func (c *Controller) CycleTime() float64 { return c.levels[c.idx] }
+
+// PacketDone records the completion of one packet during which faults
+// parity failures were observed. At epoch boundaries it evaluates the
+// adaptation rule; it returns the decision taken and whether the operating
+// point changed (in which case the caller must reprogram the cache clock
+// and charge PenaltyCycles' latest increment).
+func (c *Controller) PacketDone(faults uint64) (Decision, bool) {
+	c.LevelPackets[c.idx]++
+	c.faultsInEpoch += faults
+	c.packetsInEpoch++
+	if c.packetsInEpoch < c.epochPackets {
+		return Keep, false
+	}
+
+	observed := c.faultsInEpoch
+	c.packetsInEpoch = 0
+	c.faultsInEpoch = 0
+	c.sinceSlowdown++
+
+	decision := Keep
+	switch {
+	case observed == 0:
+		// A fault-free epoch: there is nothing to lose by probing the
+		// next faster level.
+		if c.idx < len(c.levels)-1 && c.sinceSlowdown >= c.cooldown {
+			decision = SpeedUp
+		}
+	case !c.primed:
+		// First faulty epoch: record the reference rate of the current
+		// operating point instead of comparing against an empty history.
+		c.storedFaults = observed
+		c.primed = true
+	case float64(observed) > c.x1*float64(c.storedFaults):
+		// Too many faults relative to the last stable point: back off.
+		if c.idx > 0 {
+			decision = SlowDown
+		}
+	case float64(observed) < c.x2*float64(c.storedFaults):
+		// Comfortably below the stored rate: try the next faster level.
+		if c.idx < len(c.levels)-1 && c.sinceSlowdown >= c.cooldown {
+			decision = SpeedUp
+		}
+	}
+
+	switch decision {
+	case SlowDown:
+		c.idx--
+		// Exponential back-off on re-probing the level that just failed.
+		if c.cooldown == 0 {
+			c.cooldown = 2
+		} else if c.cooldown < 16 {
+			c.cooldown *= 2
+		}
+		c.sinceSlowdown = 0
+	case SpeedUp:
+		c.idx++
+	default:
+		return Keep, false
+	}
+	// Store the previous epoch's fault count at every change (Section 4),
+	// clamped to one so a zero reference cannot wedge the comparison.
+	c.storedFaults = observed
+	if c.storedFaults == 0 {
+		c.storedFaults = 1
+	}
+	c.primed = true
+	c.Switches++
+	c.PenaltyCycles += c.switchPenalty
+	return decision, true
+}
+
+// SwitchPenalty returns the per-change cycle cost.
+func (c *Controller) SwitchPenalty() float64 { return c.switchPenalty }

@@ -1,0 +1,216 @@
+// Package metrics implements the paper's application-level error
+// measurement (Section 2) and comparison metric (Section 4.1). Each
+// application marks the values of its important data structures as it
+// processes packets; a fault-free golden execution and a fault-injected
+// execution of the same trace are compared observation by observation. The
+// fraction of packets with any mismatch is the fallibility, fatal errors
+// (executions that cannot complete) are tracked separately, and the
+// energy–delay^m–fallibility^n product combines energy, per-packet delay,
+// and error probability into a single figure of merit.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Observation is one named data-structure value recorded during execution,
+// e.g. the checksum of the packet being routed or a traversed radix-tree
+// node.
+type Observation struct {
+	Name  string
+	Value uint64
+}
+
+// PacketRecord holds the observations made while processing one packet.
+type PacketRecord struct {
+	Obs []Observation
+}
+
+// Recorder collects observations for a whole run: the control-plane
+// (initialisation) observations followed by one record per packet.
+type Recorder struct {
+	Init    []Observation
+	Packets []PacketRecord
+	current PacketRecord
+	inInit  bool
+}
+
+// NewRecorder returns a recorder in the control-plane phase: observations
+// recorded before the first BeginPackets call are initialisation values.
+func NewRecorder() *Recorder {
+	return &Recorder{inInit: true}
+}
+
+// Observe records a named value in the current phase.
+func (r *Recorder) Observe(name string, v uint64) {
+	if r.inInit {
+		r.Init = append(r.Init, Observation{name, v})
+		return
+	}
+	r.current.Obs = append(r.current.Obs, Observation{name, v})
+}
+
+// BeginPackets ends the control-plane phase.
+func (r *Recorder) BeginPackets() { r.inInit = false }
+
+// EndPacket finalises the current packet's observations.
+func (r *Recorder) EndPacket() {
+	r.Packets = append(r.Packets, r.current)
+	r.current = PacketRecord{}
+}
+
+// Reset clears everything for a fresh run.
+func (r *Recorder) Reset() { *r = Recorder{inInit: true} }
+
+// InitErrorName is the synthetic structure name under which initialisation
+// (control-plane) mismatches are reported, matching the "Initialization
+// Error" series of Figures 6 and 7.
+const InitErrorName = "initialization"
+
+// ShapeErrorName is the synthetic structure name under which divergent
+// observation sequences (the faulty run recorded more, fewer, or
+// differently named values for a packet — corrupted control flow) are
+// reported.
+const ShapeErrorName = "control-flow"
+
+// StructCount accumulates mismatches for one observed structure.
+type StructCount struct {
+	Errors int // mismatching observations
+	Total  int // compared observations
+}
+
+// Report is the outcome of comparing a faulty run against its golden run.
+type Report struct {
+	GoldenPackets int  // packets in the golden execution
+	Processed     int  // packets the faulty execution completed
+	Fatal         bool // the faulty execution was cut short
+	PacketsWith   int  // packets with at least one mismatch
+	InitMismatch  bool // control-plane observations diverged
+	PerStructure  map[string]StructCount
+}
+
+// Compare matches the faulty recorder against the golden one.
+func Compare(golden, faulty *Recorder) Report {
+	rep := Report{
+		GoldenPackets: len(golden.Packets),
+		Processed:     len(faulty.Packets),
+		Fatal:         len(faulty.Packets) < len(golden.Packets),
+		PerStructure:  make(map[string]StructCount),
+	}
+	bump := func(name string, mismatch bool) {
+		c := rep.PerStructure[name]
+		c.Total++
+		if mismatch {
+			c.Errors++
+		}
+		rep.PerStructure[name] = c
+	}
+
+	initBad := false
+	n := len(golden.Init)
+	if len(faulty.Init) != n {
+		initBad = true
+		if len(faulty.Init) < n {
+			n = len(faulty.Init)
+		}
+	}
+	for i := 0; i < n; i++ {
+		g, f := golden.Init[i], faulty.Init[i]
+		bad := g.Name != f.Name || g.Value != f.Value
+		bump(InitErrorName, bad)
+		if bad {
+			initBad = true
+		}
+	}
+	rep.InitMismatch = initBad
+
+	for p := 0; p < rep.Processed && p < rep.GoldenPackets; p++ {
+		g, f := golden.Packets[p].Obs, faulty.Packets[p].Obs
+		pktBad := false
+		shapeBad := false
+		m := len(g)
+		if len(f) != m {
+			shapeBad = true
+			if len(f) < m {
+				m = len(f)
+			}
+		}
+		for i := 0; i < m; i++ {
+			if g[i].Name != f[i].Name {
+				shapeBad = true
+				break
+			}
+			bad := g[i].Value != f[i].Value
+			bump(g[i].Name, bad)
+			if bad {
+				pktBad = true
+			}
+		}
+		// Shape divergence is tracked per packet so its probability is
+		// comparable with the per-structure series.
+		bump(ShapeErrorName, shapeBad)
+		if pktBad || shapeBad {
+			rep.PacketsWith++
+		}
+	}
+	return rep
+}
+
+// Fallibility returns the paper's fallibility factor: one plus the
+// fraction of successfully processed packets that carried any error
+// (Table I presents factors such as 1.055 and 1.261).
+func (r Report) Fallibility() float64 {
+	if r.Processed == 0 {
+		// Nothing completed: the run is maximally fallible.
+		return 2
+	}
+	return 1 + float64(r.PacketsWith)/float64(r.Processed)
+}
+
+// FatalProbability returns the per-packet probability of a fatal error
+// implied by this run: zero if the run completed, otherwise one over the
+// number of packets processed before the execution died.
+func (r Report) FatalProbability() float64 {
+	if !r.Fatal {
+		return 0
+	}
+	return 1 / float64(r.Processed+1)
+}
+
+// ErrorProbability returns the per-packet mismatch probability of one
+// observed structure.
+func (r Report) ErrorProbability(name string) float64 {
+	c, ok := r.PerStructure[name]
+	if !ok || c.Total == 0 {
+		return 0
+	}
+	return float64(c.Errors) / float64(c.Total)
+}
+
+// StructureNames returns the observed structure names in sorted order.
+func (r Report) StructureNames() []string {
+	names := make([]string, 0, len(r.PerStructure))
+	for n := range r.PerStructure {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EDFExponents are the weights of the comparison metric. The paper uses
+// k=1, m=2, n=2: delay and fallibility matter more than energy
+// (Section 4.1).
+type EDFExponents struct{ K, M, N float64 }
+
+// DefaultExponents returns the paper's energy¹-delay²-fallibility² weights.
+func DefaultExponents() EDFExponents { return EDFExponents{K: 1, M: 2, N: 2} }
+
+// EDF computes energy^k · delay^m · fallibility^n.
+func (e EDFExponents) EDF(energy, delay, fallibility float64) float64 {
+	if energy < 0 || delay < 0 || fallibility < 0 {
+		panic(fmt.Sprintf("metrics: negative EDF input (%v, %v, %v)", energy, delay, fallibility))
+	}
+	return math.Pow(energy, e.K) * math.Pow(delay, e.M) * math.Pow(fallibility, e.N)
+}

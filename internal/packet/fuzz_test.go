@@ -1,0 +1,39 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace hardens the trace reader against corrupt and hostile
+// inputs: it must return an error or a valid trace, never panic or
+// allocate unboundedly.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid serialised trace and a few mutations.
+	tr := MustGenerate(TraceConfig{Packets: 5, Flows: 2, PayloadMin: 10, PayloadMax: 40, Seed: 1})
+	var buf bytes.Buffer
+	if err := tr.Serialize(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CLTR"))
+	mutated := append([]byte{}, valid...)
+	if len(mutated) > 8 {
+		mutated[6] = 0xff // explode the packet count
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed trace must re-serialise.
+		var out bytes.Buffer
+		if err := got.Serialize(&out); err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package packet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace serialisation: a compact binary format so generated workloads can
+// be stored, shared, and replayed byte-identically (the golden/faulty
+// comparison depends on both executions seeing the same trace).
+
+// traceMagic identifies the format; the version gate allows evolution.
+var traceMagic = [4]byte{'C', 'L', 'T', 'R'}
+
+const traceVersion = 1
+
+// maxSerializedPayload bounds per-packet payloads, protecting readers
+// against corrupt or hostile files; it comfortably covers jumbo frames.
+const maxSerializedPayload = 9216
+
+// Serialize writes the trace in the binary format read by ReadTrace.
+func (t *Trace) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{uint16(traceVersion), uint32(len(t.Packets))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		if len(p.Payload) > maxSerializedPayload {
+			return fmt.Errorf("packet: payload of packet %d too large to serialise (%d)", i, len(p.Payload))
+		}
+		fields := []any{
+			p.Src, p.Dst, p.SrcPort, p.DstPort, p.Proto, p.TTL,
+			uint16(len(p.Payload)),
+		}
+		for _, v := range fields {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(p.Payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserialises a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("packet: reading trace magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, errors.New("packet: not a clumsy trace file")
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("packet: unsupported trace version %d", version)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	// Pre-allocate conservatively: the count is attacker-controlled in a
+	// corrupt file, so cap the up-front reservation and let append grow
+	// the slice if the packets really are there.
+	capHint := count
+	if capHint > 65536 {
+		capHint = 65536
+	}
+	tr := &Trace{Packets: make([]Packet, 0, capHint)}
+	for i := uint32(0); i < count; i++ {
+		var p Packet
+		var plen uint16
+		fields := []any{&p.Src, &p.Dst, &p.SrcPort, &p.DstPort, &p.Proto, &p.TTL, &plen}
+		for _, v := range fields {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return nil, fmt.Errorf("packet: reading packet %d: %w", i, err)
+			}
+		}
+		if int(plen) > maxSerializedPayload {
+			return nil, fmt.Errorf("packet: packet %d payload length %d corrupt", i, plen)
+		}
+		if plen > 0 {
+			p.Payload = make([]byte, plen)
+			if _, err := io.ReadFull(br, p.Payload); err != nil {
+				return nil, fmt.Errorf("packet: reading packet %d payload: %w", i, err)
+			}
+		}
+		tr.Packets = append(tr.Packets, p)
+	}
+	return tr, nil
+}

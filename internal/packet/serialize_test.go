@@ -1,0 +1,85 @@
+package packet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := MustGenerate(TraceConfig{Packets: 300, Flows: 30,
+		PayloadMin: 0, PayloadMax: 900, HTTPFraction: 0.4, Seed: 13})
+	var buf bytes.Buffer
+	if err := orig.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Packets) != len(orig.Packets) {
+		t.Fatalf("count %d, want %d", len(back.Packets), len(orig.Packets))
+	}
+	for i := range orig.Packets {
+		a, b := &orig.Packets[i], &back.Packets[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.SrcPort != b.SrcPort ||
+			a.DstPort != b.DstPort || a.Proto != b.Proto || a.TTL != b.TTL {
+			t.Fatalf("packet %d header differs: %+v vs %+v", i, a, b)
+		}
+		if !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("packet %d payload differs", i)
+		}
+	}
+}
+
+func TestTraceRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil || len(back.Packets) != 0 {
+		t.Fatalf("empty round trip: %v, %d packets", err, len(back.Packets))
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("NOPE0123456789"),
+		append([]byte("CLTR"), 0xff, 0xff, 0, 0, 0, 0), // bad version
+	}
+	for i, b := range cases {
+		if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsTruncation(t *testing.T) {
+	orig := MustGenerate(TraceConfig{Packets: 20, Flows: 4, PayloadMin: 64, PayloadMax: 64, Seed: 2})
+	var buf bytes.Buffer
+	if err := orig.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, 11} {
+		if _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadTraceRejectsHugePayloadLength(t *testing.T) {
+	// Hand-craft a header claiming a payload larger than the cap.
+	var buf bytes.Buffer
+	buf.WriteString("CLTR")
+	buf.Write([]byte{1, 0})       // version 1
+	buf.Write([]byte{1, 0, 0, 0}) // one packet
+	buf.Write(make([]byte, 4+4+2+2+1+1))
+	buf.Write([]byte{0xff, 0xff}) // payload length 65535 > cap
+	if _, err := ReadTrace(&buf); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("huge payload accepted: %v", err)
+	}
+}

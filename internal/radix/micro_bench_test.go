@@ -1,0 +1,36 @@
+package radix
+
+import (
+	"testing"
+
+	"clumsy/internal/fault"
+	"clumsy/internal/packet"
+	"clumsy/internal/simmem"
+)
+
+func BenchmarkLookup(b *testing.B) {
+	space := simmem.NewSpace(1 << 22)
+	tab, err := New(space, space)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefixes := packet.GeneratePrefixes(1000, fault.NewRNG(1))
+	for i, p := range prefixes {
+		if err := tab.Insert(space, p, uint32(i+1), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addrs := make([]uint32, 1024)
+	rng := fault.NewRNG(2)
+	for i := range addrs {
+		p := prefixes[rng.Intn(len(prefixes))]
+		addrs[i] = p.Addr | rng.Uint32()&^p.Mask()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Lookup(space, addrs[i%len(addrs)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
