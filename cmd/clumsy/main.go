@@ -7,7 +7,11 @@
 //	clumsy <experiment> [flags]
 //
 // Experiments: table1, fig1b, fig2b, fig3, fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, fig11, fig12, all, run, list.
+// fig9, fig10, fig11, fig12, all, run, stats, list.
+//
+// Every command accepts the observability flags -trace-out (JSONL event
+// trace of all simulated runs), -cpuprofile/-memprofile (pprof), and
+// -progress (grid progress on stderr).
 package main
 
 import (
@@ -15,6 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"clumsy/internal/apps"
 	"clumsy/internal/cache"
@@ -22,6 +29,7 @@ import (
 	"clumsy/internal/experiment"
 	"clumsy/internal/metrics"
 	"clumsy/internal/packet"
+	"clumsy/internal/telemetry"
 )
 
 func main() {
@@ -31,7 +39,42 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// cliOpts carries every parsed flag through the experiment dispatch so
+// that compound commands (extensions, all) re-dispatch without re-parsing
+// flags or re-initialising the observability stack.
+type cliOpts struct {
+	opt       experiment.Options
+	app       string
+	packets   int
+	seed      uint64
+	scale     float64
+	cr        float64
+	dynamic   bool
+	parity    bool
+	strikes   int
+	format    string
+	out       string
+	tracePath string
+	tel       *telemetry.Telemetry
+}
+
+// runConfig builds the single-run configuration of the run/stats commands.
+func (o cliOpts) runConfig() clumsy.Config {
+	return clumsy.Config{
+		App:        o.app,
+		Packets:    max(o.packets, 1000),
+		Seed:       max64(o.seed, 1),
+		CycleTime:  o.cr,
+		Dynamic:    o.dynamic,
+		Detection:  detectionOf(o.parity),
+		Strikes:    o.strikes,
+		FaultScale: maxf(o.scale, 1),
+	}
+}
+
+// run parses flags, stands up the observability stack (telemetry hub,
+// trace sink, grid monitor, pprof profiles), and dispatches the command.
+func run(args []string, w io.Writer) (err error) {
 	if len(args) == 0 {
 		usage(w)
 		return fmt.Errorf("missing experiment name")
@@ -48,29 +91,116 @@ func run(args []string, w io.Writer) error {
 	dynamic := fs.Bool("dynamic", false, "use the dynamic frequency controller for run")
 	parity := fs.Bool("parity", false, "enable parity detection for run")
 	strikes := fs.Int("strikes", 1, "recovery strikes under parity for run")
-	format := fs.String("format", "text", "output format: text or csv")
+	format := fs.String("format", "text", "output format: text or csv (stats: text=Prometheus or json)")
 	out := fs.String("out", "", "write binary output to this file (trace command)")
 	tracePath := fs.String("trace", "", "replay a binary trace file instead of generating (run command)")
+	traceOut := fs.String("trace-out", "", "write a JSONL event trace of every simulated run to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	progress := fs.Bool("progress", false, "report experiment-grid progress on stderr")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
+
+	o := cliOpts{
+		opt:       experiment.Options{Packets: *packets, Trials: *trials, FaultScale: *scale, Seed: *seed},
+		app:       *appName,
+		packets:   *packets,
+		seed:      *seed,
+		scale:     *scale,
+		cr:        *cr,
+		dynamic:   *dynamic,
+		parity:    *parity,
+		strikes:   *strikes,
+		format:    *format,
+		out:       *out,
+		tracePath: *tracePath,
+	}
+
+	// Observability stack. The hub is installed as the process default so
+	// that every clumsy.Run — including the ones buried inside experiment
+	// grids — is counted and traced without plumbing changes.
+	o.tel = telemetry.New()
+	clumsy.SetDefaultTelemetry(o.tel)
+	defer clumsy.SetDefaultTelemetry(nil)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		sink := telemetry.NewJSONLSink(f)
+		o.tel.SetSink(sink)
+		defer sink.Close()
+	}
+	if *progress {
+		mon := &telemetry.RunMonitor{Registry: o.tel.Registry, OnProgress: printProgress}
+		experiment.SetMonitor(mon)
+		defer experiment.SetMonitor(nil)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
+	return execute(cmd, o, w)
+}
+
+// printProgress renders one grid-progress line on stderr (carriage-return
+// updated in place, finished with a newline).
+func printProgress(p telemetry.Progress) {
+	fmt.Fprintf(os.Stderr, "\r%d/%d runs  avg %v/run  elapsed %v  workers %.0f%% busy   ",
+		p.Done, p.Total,
+		p.AvgRun.Round(time.Millisecond), p.Elapsed.Round(time.Millisecond),
+		p.Utilization()*100)
+	if p.Done >= p.Total {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+// writeHeapProfile dumps the heap profile at exit; failures are reported
+// but do not change the command's outcome.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clumsy: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "clumsy: memprofile:", err)
+	}
+}
+
+// execute dispatches one (sub)command with already-parsed options.
+func execute(cmd string, o cliOpts, w io.Writer) error {
 	emitTable := func(t *experiment.Table) error {
-		if *format == "csv" {
+		if o.format == "csv" {
 			return t.RenderCSV(w)
 		}
 		t.Render(w)
 		return nil
 	}
 	emitFigure := func(f *experiment.Figure) error {
-		if *format == "csv" {
+		if o.format == "csv" {
 			return f.RenderCSV(w)
 		}
 		f.Render(w)
 		return nil
 	}
-	opt := experiment.Options{
-		Packets: *packets, Trials: *trials, FaultScale: *scale, Seed: *seed,
-	}
+	opt := o.opt
 
 	switch cmd {
 	case "list":
@@ -94,7 +224,7 @@ func run(args []string, w io.Writer) error {
 		return emitTable(experiment.Table1Render(rows, opt))
 	case "fig6", "fig7":
 		// Figure 6 studies route, Figure 7 studies nat; -app overrides.
-		app := *appName
+		app := o.app
 		if app == "route" && cmd == "fig7" {
 			app = "nat"
 		}
@@ -148,35 +278,35 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintln(w)
 		}
 	case "ecc":
-		cells, err := experiment.ExtDetection(*appName, opt)
+		cells, err := experiment.ExtDetection(o.app, opt)
 		if err != nil {
 			return err
 		}
-		return emitTable(experiment.ExtDetectionRender(*appName, cells, opt))
+		return emitTable(experiment.ExtDetectionRender(o.app, cells, opt))
 	case "subblock":
-		cells, err := experiment.ExtSubBlock(*appName, opt)
+		cells, err := experiment.ExtSubBlock(o.app, opt)
 		if err != nil {
 			return err
 		}
-		return emitTable(experiment.ExtSubBlockRender(*appName, cells, opt))
+		return emitTable(experiment.ExtSubBlockRender(o.app, cells, opt))
 	case "exponents":
-		rows, err := experiment.ExtExponents(*appName, opt)
+		rows, err := experiment.ExtExponents(o.app, opt)
 		if err != nil {
 			return err
 		}
-		return emitTable(experiment.ExtExponentsRender(*appName, rows, opt))
+		return emitTable(experiment.ExtExponentsRender(o.app, rows, opt))
 	case "dvs":
-		rows, err := experiment.ExtDVS(*appName, opt)
+		rows, err := experiment.ExtDVS(o.app, opt)
 		if err != nil {
 			return err
 		}
-		return emitTable(experiment.ExtDVSRender(*appName, rows, opt))
+		return emitTable(experiment.ExtDVSRender(o.app, rows, opt))
 	case "geometry":
-		cells, err := experiment.ExtGeometry(*appName, opt)
+		cells, err := experiment.ExtGeometry(o.app, opt)
 		if err != nil {
 			return err
 		}
-		return emitTable(experiment.ExtGeometryRender(*appName, cells, opt))
+		return emitTable(experiment.ExtGeometryRender(o.app, cells, opt))
 	case "media":
 		// The paper notes its ideas apply "to any type of processor that
 		// executes applications with fault resiliency (e.g., media
@@ -187,20 +317,20 @@ func run(args []string, w io.Writer) error {
 		}
 		return emitTable(experiment.EDFRender(r, "Extension: media processor (adpcm)", opt))
 	case "tuning":
-		cells, err := experiment.ExtTuning(*appName, opt)
+		cells, err := experiment.ExtTuning(o.app, opt)
 		if err != nil {
 			return err
 		}
-		return emitTable(experiment.ExtTuningRender(*appName, cells, opt))
+		return emitTable(experiment.ExtTuningRender(o.app, cells, opt))
 	case "extensions":
 		for _, sub := range []string{"ecc", "subblock", "exponents", "dvs", "geometry", "tuning", "media"} {
-			if err := run(append([]string{sub}, rest...), w); err != nil {
+			if err := execute(sub, o, w); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
 		}
 	case "trace":
-		return dumpTrace(w, *appName, max(*packets, 20), max64(*seed, 1), *out)
+		return dumpTrace(w, o.app, max(o.packets, 20), max64(o.seed, 1), o.out)
 	case "verify":
 		claims, err := experiment.VerifyClaims(opt)
 		if err != nil {
@@ -217,16 +347,22 @@ func run(args []string, w io.Writer) error {
 	case "all":
 		return allExperiments(opt, w)
 	case "run":
-		return single(w, clumsy.Config{
-			App:        *appName,
-			Packets:    max(*packets, 1000),
-			Seed:       max64(*seed, 1),
-			CycleTime:  *cr,
-			Dynamic:    *dynamic,
-			Detection:  detectionOf(*parity),
-			Strikes:    *strikes,
-			FaultScale: maxf(*scale, 1),
-		}, *tracePath)
+		res, err := runOne(o.runConfig(), o.tracePath)
+		if err != nil {
+			return err
+		}
+		return report(w, res)
+	case "stats":
+		// Execute one run exactly like `run` (same defaults and seeding,
+		// so its counts match a trace captured by `run -trace-out` with
+		// the same flags), then dump the counter registry.
+		if _, err := runOne(o.runConfig(), o.tracePath); err != nil {
+			return err
+		}
+		if o.format == "json" {
+			return o.tel.Registry.WriteJSON(w)
+		}
+		return o.tel.Registry.WritePrometheus(w)
 	default:
 		usage(w)
 		return fmt.Errorf("unknown experiment %q", cmd)
@@ -310,28 +446,27 @@ func ipString(a uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", a>>24, a>>16&0xff, a>>8&0xff, a&0xff)
 }
 
-// single runs one configuration and prints its full report. If tracePath
-// is non-empty, the stored trace is replayed instead of generating one.
-func single(w io.Writer, cfg clumsy.Config, tracePath string) error {
-	var res *clumsy.Result
-	var err error
-	if tracePath != "" {
-		f, ferr := os.Open(tracePath)
-		if ferr != nil {
-			return ferr
-		}
-		tr, terr := packet.ReadTrace(f)
-		f.Close()
-		if terr != nil {
-			return terr
-		}
-		res, err = clumsy.RunWithTrace(cfg, tr)
-	} else {
-		res, err = clumsy.Run(cfg)
+// runOne executes one configuration. If tracePath is non-empty, the stored
+// trace is replayed instead of generating one.
+func runOne(cfg clumsy.Config, tracePath string) (*clumsy.Result, error) {
+	if tracePath == "" {
+		return clumsy.Run(cfg)
 	}
+	f, err := os.Open(tracePath)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	tr, terr := packet.ReadTrace(f)
+	f.Close()
+	if terr != nil {
+		return nil, terr
+	}
+	return clumsy.RunWithTrace(cfg, tr)
+}
+
+// report prints the full human-readable report of one run.
+func report(w io.Writer, res *clumsy.Result) error {
+	cfg := res.Config
 	e := metrics.DefaultExponents()
 	fmt.Fprintf(w, "app %s  Cr=%g dynamic=%v detection=%v strikes=%d scale=%g\n",
 		cfg.App, cfg.CycleTime, cfg.Dynamic, cfg.Detection, cfg.Strikes, cfg.FaultScale)
@@ -440,6 +575,8 @@ experiments:
   all     everything above in paper order
   verify  check the paper's headline claims programmatically (exit 1 on failure)
   run     one simulation (-app -cr -dynamic -parity -strikes -scale [-trace f])
+  stats   one simulation like run, then dump the telemetry counter registry
+          (-format text = Prometheus exposition, -format json = JSON)
   trace   dump an application's workload (-app -packets -seed [-out file])
   list    this text
 
@@ -454,5 +591,13 @@ extensions (beyond the paper's evaluation; -app selects the workload):
   extensions all seven extension studies
 
 common flags: -packets N  -trials N  -scale X  -seed N  -format text|csv
+
+observability (any command):
+  -trace-out f.jsonl   structured event trace of every simulated run
+                       (fault injections, recoveries, DVS transitions,
+                       packet drops, run lifecycle; cycle timestamps)
+  -progress            live experiment-grid progress on stderr
+  -cpuprofile f        pprof CPU profile of the whole command
+  -memprofile f        pprof heap profile written at exit
 `)
 }

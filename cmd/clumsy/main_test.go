@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -195,6 +197,141 @@ func TestMediaCommand(t *testing.T) {
 	if !strings.Contains(out, "adpcm") || !strings.Contains(out, "media processor") {
 		t.Fatalf("media output malformed:\n%s", out)
 	}
+}
+
+// readEvents parses a JSONL trace file and returns the events by type.
+func readEvents(t *testing.T, path string) map[string][]map[string]any {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	byType := map[string][]map[string]any{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid JSONL line: %v\n%s", err, sc.Text())
+		}
+		typ, _ := ev["type"].(string)
+		if typ == "" {
+			t.Fatalf("event without type: %s", sc.Text())
+		}
+		if _, ok := ev["cycle"].(float64); !ok {
+			t.Fatalf("event without numeric cycle timestamp: %s", sc.Text())
+		}
+		byType[typ] = append(byType[typ], ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return byType
+}
+
+// TestTraceOutJSONL is the acceptance check of the telemetry subsystem:
+// a traced dynamic run must produce valid JSONL holding fault-injection,
+// recovery, and frequency-transition events with cycle timestamps.
+func TestTraceOutJSONL(t *testing.T) {
+	path := t.TempDir() + "/events.jsonl"
+	capture(t, "run", "-app", "route", "-packets", "1000", "-dynamic", "-parity",
+		"-strikes", "2", "-scale", "25", "-seed", "3", "-trace-out", path)
+	byType := readEvents(t, path)
+	for _, typ := range []string{"run_start", "fault_injection", "recovery", "freq_transition", "run_end"} {
+		if len(byType[typ]) == 0 {
+			t.Errorf("trace holds no %s events", typ)
+		}
+	}
+	// Cycle timestamps must be monotonic non-decreasing within the run.
+	prev := -1.0
+	for _, evs := range []string{"fault_injection", "recovery"} {
+		prev = -1
+		for _, ev := range byType[evs] {
+			c := ev["cycle"].(float64)
+			if c < prev {
+				t.Fatalf("%s cycles not monotonic: %g after %g", evs, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestStatsMatchesTrace runs the stats command with a trace sink attached
+// in the same process and checks that the counter registry agrees with
+// the counts derivable from the JSONL trace.
+func TestStatsMatchesTrace(t *testing.T) {
+	path := t.TempDir() + "/events.jsonl"
+	out := capture(t, "stats", "-app", "route", "-packets", "800", "-cr", "0.5",
+		"-parity", "-strikes", "2", "-scale", "25", "-seed", "7",
+		"-trace-out", path, "-format", "json")
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("stats -format json is not JSON: %v\n%s", err, out)
+	}
+	byType := readEvents(t, path)
+	c := snap.Counters
+	if got, want := c["fault.read_injected"]+c["fault.write_injected"], uint64(len(byType["fault_injection"])); got != want {
+		t.Errorf("fault counters %d != %d fault_injection events", got, want)
+	}
+	retries, recoveries := 0, 0
+	for _, ev := range byType["recovery"] {
+		if ev["kind"] == "retry" {
+			retries++
+		} else {
+			recoveries++
+		}
+	}
+	if got := c["recovery.retries"]; got != uint64(retries) {
+		t.Errorf("recovery.retries %d != %d retry events", got, retries)
+	}
+	if got := c["recovery.recoveries"]; got != uint64(recoveries) {
+		t.Errorf("recovery.recoveries %d != %d recovery events", got, recoveries)
+	}
+	if got := c["run.count"]; got != 1 {
+		t.Errorf("run.count = %d, want 1", got)
+	}
+	if len(byType["fault_injection"]) == 0 {
+		t.Error("expected at least one injected fault at scale 25")
+	}
+}
+
+// TestStatsPrometheus checks the default stats format is Prometheus text.
+func TestStatsPrometheus(t *testing.T) {
+	out := capture(t, "stats", "-app", "crc", "-packets", "300", "-scale", "5", "-seed", "2")
+	for _, frag := range []string{
+		"# TYPE clumsy_cache_l1d_reads counter",
+		"# TYPE clumsy_packet_instructions histogram",
+		"clumsy_run_count 1",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prometheus stats missing %q:\n%s", frag, out[:min(len(out), 400)])
+		}
+	}
+}
+
+// TestExperimentGridTraced checks that experiment subcommands are traced
+// through the default-telemetry hub without any per-command wiring: a
+// small table1 grid must leave run_start/run_end events from many runs.
+func TestExperimentGridTraced(t *testing.T) {
+	path := t.TempDir() + "/grid.jsonl"
+	capture(t, "table1", "-packets", "120", "-trials", "1", "-trace-out", path)
+	byType := readEvents(t, path)
+	if len(byType["run_start"]) < 7 { // one faulty run per application at least
+		t.Fatalf("grid trace holds %d run_start events, want >= 7", len(byType["run_start"]))
+	}
+	if len(byType["run_end"]) != len(byType["run_start"]) {
+		t.Fatalf("run_start/run_end mismatch: %d vs %d", len(byType["run_start"]), len(byType["run_end"]))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func TestVerifyCommand(t *testing.T) {

@@ -1,9 +1,12 @@
 package cache
 
 import (
+	"math/bits"
+
 	"clumsy/internal/circuit"
 	"clumsy/internal/fault"
 	"clumsy/internal/simmem"
+	"clumsy/internal/telemetry"
 )
 
 // Detection selects the fault-detection scheme of the L1 data cache
@@ -74,6 +77,11 @@ type L1Data struct {
 	lat  float64 // current access latency in core cycles (Latency * cr)
 	fill []byte  // scratch line buffer
 
+	// rt, when non-nil, receives structured trace events for injected
+	// faults and recovery steps. It is nil by default, so the hit path is
+	// untouched and the (already rare) fault path pays one branch.
+	rt *telemetry.RunTrace
+
 	Stats    Stats
 	Recovery RecoveryStats
 	Energy   EnergyWeights
@@ -105,6 +113,12 @@ func NewL1Data(cfg Config, next Backend, inj *fault.Injector, det Detection, str
 	c.SetCycleTime(1)
 	return c, nil
 }
+
+// SetTelemetry installs (or, with nil, removes) the structured event
+// trace of the current run. Fault injections and recovery steps are
+// emitted to it; counters are not touched here — the run machinery flushes
+// Stats and Recovery into the telemetry registry when the run finishes.
+func (c *L1Data) SetTelemetry(rt *telemetry.RunTrace) { c.rt = rt }
 
 // SetSubBlock selects sub-block recovery (the extension sketched in the
 // paper's footnote 2): on an uncorrectable detected fault, only the
@@ -227,6 +241,9 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 		mask := uint32(c.injector.Next())
 		if mask != 0 {
 			c.Recovery.FaultsOnRead++
+			if c.rt != nil {
+				c.rt.FaultInjection("read", bits.OnesCount32(mask), uint64(addr))
+			}
 		}
 		v := stored ^ mask
 		switch c.detection {
@@ -239,6 +256,9 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 				return v, nil
 			case eccCorrected:
 				c.Recovery.Corrected++
+				if c.rt != nil {
+					c.rt.Recovery("ecc_correct", attempt, uint64(addr))
+				}
 				// Scrub: the corrected value is written back into the
 				// array so a persistent write fault does not linger.
 				putLeWord(ln.data[w:], decoded)
@@ -266,6 +286,9 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 			// Two-/three-strike: assume a transient read fault and try
 			// the L1 again before declaring the block bad.
 			c.Recovery.Retries++
+			if c.rt != nil {
+				c.rt.Recovery("retry", attempt, uint64(addr))
+			}
 			continue
 		}
 		if c.subBlock {
@@ -274,6 +297,9 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 			// neighbours, stays put and no write-back is needed.
 			c.Recovery.Recoveries++
 			recoveries++
+			if c.rt != nil {
+				c.rt.Recovery("subblock", attempt, uint64(addr))
+			}
 			var word [4]byte
 			cyc, err := c.next.FetchLine(addr, word[:])
 			if err != nil {
@@ -294,6 +320,9 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 		// first to preserve legitimate stores on the rest of the line.
 		c.Recovery.Recoveries++
 		recoveries++
+		if c.rt != nil {
+			c.rt.Recovery("line", attempt, uint64(addr))
+		}
 		c.Stats.Invalidations++
 		if ln.dirty {
 			c.Stats.Writebacks++
@@ -334,6 +363,9 @@ func (c *L1Data) writeWord(addr simmem.Addr, v uint32) error {
 	mask := uint32(c.injector.Next())
 	if mask != 0 {
 		c.Recovery.FaultsOnWrite++
+		if c.rt != nil {
+			c.rt.FaultInjection("write", bits.OnesCount32(mask), uint64(addr))
+		}
 	}
 	putLeWord(ln.data[w:], v^mask)
 	ln.parity[w/4] = wordParity(v)

@@ -82,6 +82,44 @@ func BenchmarkL1DMissStream(b *testing.B) {
 	}
 }
 
+// TestDisabledTelemetryNoAllocsOnAccess asserts that with no telemetry
+// installed (the default), the L1D access hot path allocates nothing —
+// the guarantee behind the "disabled telemetry costs one predictable
+// branch" claim. Guarded by AllocsPerRun rather than a benchmark so a
+// regression fails the suite instead of silently shifting a number.
+func TestDisabledTelemetryNoAllocsOnAccess(t *testing.T) {
+	for _, det := range []Detection{DetectionNone, DetectionParity, DetectionECC} {
+		h := benchHierarchyT(t, det, 1)
+		a := h.Space.MustAlloc(64, 32)
+		if err := h.L1D.Store32(a, 1); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := h.L1D.Load32(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.L1D.Store32(a, 2); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: L1D access allocated %.1f times per op with telemetry off, want 0", det, allocs)
+		}
+	}
+}
+
+func benchHierarchyT(t *testing.T, det Detection, scale float64) *Hierarchy {
+	t.Helper()
+	space := simmem.NewSpace(1 << 22)
+	m := fault.NewModel(scale)
+	inj := fault.NewInjector(m, fault.NewRNG(1), 32)
+	h, err := NewHierarchy(space, inj, det, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func BenchmarkL1DStore(b *testing.B) {
 	h := benchHierarchy(b, DetectionParity, 1)
 	a := h.Space.MustAlloc(64, 32)

@@ -13,6 +13,7 @@ import (
 	"clumsy/internal/packet"
 	"clumsy/internal/radix"
 	"clumsy/internal/simmem"
+	"clumsy/internal/telemetry"
 )
 
 // Planes selects which execution segments receive fault injection, for the
@@ -80,6 +81,13 @@ type Config struct {
 	// L1DSize overrides the L1 data cache capacity in bytes (0 = the
 	// StrongARM default of 4 KB); used by the geometry ablation.
 	L1DSize int
+
+	// Telemetry, when non-nil, receives counters and structured trace
+	// events from the faulty run (the golden reference stays silent). Nil
+	// falls back to the process-wide hub installed with
+	// SetDefaultTelemetry; when that is nil too, telemetry is off and the
+	// simulation hot paths are untouched.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchdogFactor == 0 {
 		c.WatchdogFactor = 500
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = DefaultTelemetry()
 	}
 	return c
 }
@@ -281,6 +292,22 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 		return nil, err
 	}
 
+	// Telemetry observes the faulty run only; the golden reference pass
+	// stays silent so the counters and trace describe the clumsy
+	// execution. rt is nil when tracing is off — the emit calls below all
+	// vanish behind one branch.
+	tel := cfg.Telemetry
+	if inj == nil {
+		tel = nil
+	}
+	var rt *telemetry.RunTrace
+	if tel != nil {
+		rt = tel.StartRun(eng.totalCycles)
+		h.L1D.SetTelemetry(rt)
+		rt.RunStart(cfg.App, cfg.Packets, cfg.Seed, cfg.CycleTime, cfg.Dynamic,
+			cfg.Detection.String(), cfg.Strikes, cfg.FaultScale)
+	}
+
 	var ctrl *freqctl.Controller
 	if inj != nil {
 		if cfg.Dynamic {
@@ -298,6 +325,9 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			ctrl, err = freqctl.NewWith(freqctl.DefaultLevels(), epoch, x1, x2, freqctl.DefaultSwitchPenalty)
 			if err != nil {
 				return nil, err
+			}
+			if tel != nil {
+				wireFreqTelemetry(ctrl, tel.Registry)
 			}
 			h.L1D.SetCycleTime(ctrl.CycleTime())
 		} else {
@@ -324,7 +354,9 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 		}
 		out.fatal = err
 		out.setupDied = true
+		rt.PacketDrop(-1, dropReason(err)) // died during the control plane
 		finish(out, eng, h, cfg, ctrl, 0, 0)
+		finishTelemetry(tel, rt, out, eng, h, ctrl, len(trace.Packets), 0)
 		return out, nil
 	}
 	injector.SetEnabled(false)
@@ -338,6 +370,13 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 	eng.budget = budget
 	parityMark := uint64(0)
 	processed := 0
+	var histInstrs, histCycles *telemetry.Histogram
+	prevCycles := 0.0
+	if tel != nil {
+		histInstrs = tel.Registry.Histogram("packet.instructions")
+		histCycles = tel.Registry.Histogram("packet.cycles")
+		prevCycles = eng.totalCycles()
+	}
 	for i := range trace.Packets {
 		p := &trace.Packets[i]
 		buf, err := dmaPacket(h, p)
@@ -360,6 +399,7 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 					eng.core += float64(budget - spent)
 				}
 			}
+			rt.PacketDrop(i, dropReason(err))
 			break
 		}
 		rec.EndPacket()
@@ -367,16 +407,24 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 		if n := eng.packetInstrs(); n > out.maxPacketInstrs {
 			out.maxPacketInstrs = n
 		}
+		if histInstrs != nil {
+			histInstrs.Observe(eng.packetInstrs())
+			now := eng.totalCycles()
+			histCycles.Observe(uint64(now - prevCycles))
+			prevCycles = now
+		}
 		if ctrl != nil {
 			newErrors := h.L1D.Recovery.ParityErrors - parityMark
 			parityMark = h.L1D.Recovery.ParityErrors
-			if _, changed := ctrl.PacketDone(newErrors); changed {
+			if dec, changed := ctrl.PacketDone(newErrors); changed {
 				h.L1D.SetCycleTime(ctrl.CycleTime())
 				out.timeline = append(out.timeline, FreqEvent{Packet: i + 1, CycleTime: ctrl.CycleTime()})
+				rt.FreqTransition(i+1, dec.String(), ctrl.CycleTime())
 			}
 		}
 	}
 	finish(out, eng, h, cfg, ctrl, setupCycles, processed)
+	finishTelemetry(tel, rt, out, eng, h, ctrl, len(trace.Packets), processed)
 	return out, nil
 }
 

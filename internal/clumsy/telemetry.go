@@ -1,0 +1,115 @@
+package clumsy
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"clumsy/internal/cache"
+	"clumsy/internal/freqctl"
+	"clumsy/internal/radix"
+	"clumsy/internal/simmem"
+	"clumsy/internal/telemetry"
+)
+
+// defaultTelemetry is the process-wide hub picked up by every Config that
+// does not carry its own. The CLI installs one here so that experiment
+// grids — which build Configs deep inside internal/experiment — are traced
+// and counted without any plumbing changes.
+var defaultTelemetry atomic.Pointer[telemetry.Telemetry]
+
+// SetDefaultTelemetry installs the hub used by Configs with a nil
+// Telemetry field. Pass nil to disable.
+func SetDefaultTelemetry(t *telemetry.Telemetry) { defaultTelemetry.Store(t) }
+
+// DefaultTelemetry returns the process-wide hub, or nil.
+func DefaultTelemetry() *telemetry.Telemetry { return defaultTelemetry.Load() }
+
+// wireFreqTelemetry hooks the controller's epoch decisions into the
+// counter registry.
+func wireFreqTelemetry(ctrl *freqctl.Controller, reg *telemetry.Registry) {
+	epochs := reg.Counter("freq.epochs")
+	up := reg.Counter("freq.up_transitions")
+	down := reg.Counter("freq.down_transitions")
+	ctrl.OnDecision = func(d freqctl.Decision, changed bool, _ float64) {
+		epochs.Inc()
+		if !changed {
+			return
+		}
+		if d == freqctl.SpeedUp {
+			up.Inc()
+		} else {
+			down.Inc()
+		}
+	}
+}
+
+// finishTelemetry flushes one faulty run's accumulated statistics into the
+// registry and closes the run trace. The simulator's hot paths keep their
+// plain struct counters; this once-per-run flush is what makes the
+// telemetry layer free while a run executes.
+func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *onceResult, eng *engine, h *cache.Hierarchy, ctrl *freqctl.Controller, totalPackets, processed int) {
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry
+	reg.Counter("run.count").Inc()
+	if out.fatal != nil {
+		reg.Counter("run.fatal").Inc()
+		if errors.Is(out.fatal, ErrWatchdog) {
+			reg.Counter("watchdog.kills").Inc()
+		}
+		if dropped := totalPackets - processed; dropped > 0 {
+			reg.Counter("run.packets_dropped").Add(uint64(dropped))
+		}
+	}
+	reg.Counter("run.packets_processed").Add(uint64(processed))
+	reg.Counter("run.instructions").Add(eng.instrs)
+	reg.Counter("run.cycles").Add(uint64(out.cycles))
+
+	addCacheStats(reg, "cache.l1d", h.L1D.Stats)
+	addCacheStats(reg, "cache.l1i", h.L1I.Stats)
+	addCacheStats(reg, "cache.l2", h.L2.Stats)
+	addCacheStats(reg, "cache.mem", h.Mem.Stats)
+
+	rec := h.L1D.Recovery
+	reg.Counter("fault.read_injected").Add(rec.FaultsOnRead)
+	reg.Counter("fault.write_injected").Add(rec.FaultsOnWrite)
+	reg.Counter("recovery.detected").Add(rec.ParityErrors)
+	reg.Counter("recovery.retries").Add(rec.Retries)
+	reg.Counter("recovery.recoveries").Add(rec.Recoveries)
+	reg.Counter("recovery.ecc_corrected").Add(rec.Corrected)
+	reg.Counter("recovery.ecc_miscorrected").Add(rec.Miscorrected)
+
+	if ctrl != nil {
+		reg.Counter("freq.switches").Add(uint64(ctrl.Switches))
+		reg.Counter("freq.penalty_cycles").Add(uint64(ctrl.PenaltyCycles))
+	}
+	rt.RunEnd(processed, eng.instrs, out.fatal != nil)
+}
+
+// addCacheStats folds one cache level's statistics into prefixed counters.
+// Hits per level are derivable as reads-read_misses / writes-write_misses.
+func addCacheStats(reg *telemetry.Registry, prefix string, s cache.Stats) {
+	reg.Counter(prefix + ".reads").Add(s.Reads)
+	reg.Counter(prefix + ".writes").Add(s.Writes)
+	reg.Counter(prefix + ".read_misses").Add(s.ReadMisses)
+	reg.Counter(prefix + ".write_misses").Add(s.WriteMisses)
+	reg.Counter(prefix + ".writebacks").Add(s.Writebacks)
+	reg.Counter(prefix + ".invalidations").Add(s.Invalidations)
+}
+
+// dropReason classifies the fatal error that killed a run for the
+// packet_drop trace record.
+func dropReason(err error) string {
+	var ae *simmem.AccessError
+	switch {
+	case errors.Is(err, ErrWatchdog):
+		return "watchdog"
+	case errors.Is(err, radix.ErrLoop):
+		return "loop"
+	case errors.As(err, &ae):
+		return "memory_trap"
+	default:
+		return "fatal"
+	}
+}

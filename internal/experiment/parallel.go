@@ -3,48 +3,96 @@ package experiment
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"clumsy/internal/telemetry"
 )
+
+// gridMonitor, when set, receives wall-clock telemetry (per-run durations,
+// worker utilization, progress) for every parallel grid. The CLI installs
+// one; nil records nothing.
+var gridMonitor atomic.Pointer[telemetry.RunMonitor]
+
+// SetMonitor installs (or, with nil, removes) the wall-clock monitor
+// observed by every subsequent experiment grid.
+func SetMonitor(m *telemetry.RunMonitor) { gridMonitor.Store(m) }
+
+// Monitor returns the installed grid monitor, or nil.
+func Monitor() *telemetry.RunMonitor { return gridMonitor.Load() }
 
 // parallelFor runs fn(0..n-1) across GOMAXPROCS workers and returns the
 // first error. Every simulation run is self-contained (its own simulated
 // memory, RNG streams, and recorder), so experiment grids parallelise
 // trivially; results must be written to index-distinct slots by fn.
+//
+// The first error cancels the grid promptly: no new indices are issued,
+// and items already queued to a worker are skipped rather than run. At
+// most one in-flight item per worker executes after the failure.
 func parallelFor(n int, fn func(i int) error) error {
+	mon := Monitor()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	runItem := fn
+	if mon != nil {
+		runItem = func(i int) error {
+			start := time.Now()
+			err := fn(i)
+			mon.RunDone(time.Since(start))
+			return err
+		}
+	}
 	if workers <= 1 {
+		mon.Begin(n, 1)
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := runItem(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	mon.Begin(n, workers)
+
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
 	next := make(chan int)
+	done := make(chan struct{})
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			close(done)
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+				select {
+				case <-done:
+					continue // drain without running: the grid failed
+				default:
+				}
+				if err := runItem(i); err != nil {
+					fail(err)
 				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

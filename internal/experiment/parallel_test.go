@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"clumsy/internal/telemetry"
 )
 
 func TestParallelForVisitsEveryIndex(t *testing.T) {
@@ -60,5 +63,79 @@ func TestParallelForSerialFallback(t *testing.T) {
 func TestParallelForZero(t *testing.T) {
 	if err := parallelFor(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal("zero-length loop should not invoke fn")
+	}
+}
+
+// TestParallelForEarlyCancel is the regression test for the early-cancel
+// behaviour: after the first error, the feeder must stop issuing new work
+// instead of draining the full grid. The old implementation executed all n
+// items; the fixed one runs at most a few items per worker.
+func TestParallelForEarlyCancel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 1000
+	boom := errors.New("boom")
+	errored := make(chan struct{})
+	var calls atomic.Int32
+	err := parallelFor(n, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			close(errored)
+			return boom
+		}
+		// Park the other workers until the failure has fired so the test
+		// observes cancellation rather than a fast grid finishing first.
+		<-errored
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got > n/2 {
+		t.Fatalf("executed %d of %d items after the first error; early-cancel is not working", got, n)
+	}
+}
+
+// TestParallelForMonitor checks that the installed grid monitor observes
+// every run, keeps consistent progress, and feeds the registry — with the
+// monitor shared by concurrent workers (exercised under -race).
+func TestParallelForMonitor(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	reg := telemetry.NewRegistry()
+	var events atomic.Int32
+	mon := &telemetry.RunMonitor{Registry: reg}
+	mon.OnProgress = func(p telemetry.Progress) {
+		events.Add(1)
+		if p.Done < 1 || p.Done > p.Total {
+			t.Errorf("inconsistent progress: %d/%d", p.Done, p.Total)
+		}
+	}
+	SetMonitor(mon)
+	defer SetMonitor(nil)
+
+	const n = 64
+	if err := parallelFor(n, func(i int) error {
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := events.Load(); got != n {
+		t.Fatalf("OnProgress fired %d times, want %d", got, n)
+	}
+	p := mon.Progress()
+	if p.Done != n || p.Total != n {
+		t.Fatalf("final progress %d/%d, want %d/%d", p.Done, p.Total, n, n)
+	}
+	if p.Busy <= 0 || p.AvgRun <= 0 {
+		t.Fatalf("busy/avg not recorded: %+v", p)
+	}
+	if got := reg.Counter("experiment.runs").Load(); got != n {
+		t.Fatalf("experiment.runs = %d, want %d", got, n)
+	}
+	if got := reg.Histogram("experiment.run_ms").Count(); got != n {
+		t.Fatalf("experiment.run_ms count = %d, want %d", got, n)
 	}
 }

@@ -65,6 +65,13 @@ type Controller struct {
 	cooldown      int
 	sinceSlowdown int
 
+	// OnDecision, if non-nil, observes every epoch-boundary evaluation:
+	// the decision taken, whether the operating point changed, and the
+	// cycle time in force after the decision. The telemetry layer hooks
+	// this to count and trace DVS decisions; mid-epoch packets do not
+	// invoke it.
+	OnDecision func(d Decision, changed bool, cycleTime float64)
+
 	// Switches counts frequency changes; PenaltyCycles accumulates the
 	// switching cost, to be added to the run's execution cycles.
 	Switches      int
@@ -178,6 +185,9 @@ func (c *Controller) PacketDone(faults uint64) (Decision, bool) {
 	case SpeedUp:
 		c.idx++
 	default:
+		if c.OnDecision != nil {
+			c.OnDecision(Keep, false, c.CycleTime())
+		}
 		return Keep, false
 	}
 	// Store the previous epoch's fault count at every change (Section 4),
@@ -189,6 +199,9 @@ func (c *Controller) PacketDone(faults uint64) (Decision, bool) {
 	c.primed = true
 	c.Switches++
 	c.PenaltyCycles += c.switchPenalty
+	if c.OnDecision != nil {
+		c.OnDecision(decision, true, c.CycleTime())
+	}
 	return decision, true
 }
 

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress is a snapshot of a running experiment grid, delivered to the
+// RunMonitor's OnProgress callback after every completed run.
+type Progress struct {
+	Done    int           // runs completed
+	Total   int           // runs in the grid
+	Workers int           // parallel workers executing the grid
+	Elapsed time.Duration // wall time since the grid started
+	Busy    time.Duration // summed per-run wall time across workers
+	AvgRun  time.Duration // mean wall time per completed run
+}
+
+// Utilization returns the fraction of worker wall-time spent inside runs
+// (1.0 = every worker busy the whole time).
+func (p Progress) Utilization() float64 {
+	if p.Workers <= 0 || p.Elapsed <= 0 {
+		return 0
+	}
+	u := float64(p.Busy) / (float64(p.Elapsed) * float64(p.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// RunMonitor collects wall-clock telemetry for a parallel experiment grid:
+// per-run durations, total worker busy time, and completion progress. A
+// nil *RunMonitor is valid and records nothing, so the runner can hold one
+// unconditionally.
+//
+// When Registry is set, every completed run also feeds the
+// "experiment.runs" counter and the "experiment.run_ms" histogram, so grid
+// timing shows up in the same stats dump as the simulation counters.
+type RunMonitor struct {
+	// OnProgress, if non-nil, observes every completed run. It is called
+	// under the monitor's lock: keep it fast and do not re-enter the
+	// monitor.
+	OnProgress func(Progress)
+
+	// Registry, if non-nil, receives run-duration instruments.
+	Registry *Registry
+
+	mu      sync.Mutex
+	total   int
+	done    int
+	workers int
+	started time.Time
+	busy    time.Duration
+}
+
+// Begin marks the start of a grid of total runs on the given number of
+// workers, resetting the per-grid progress state.
+func (m *RunMonitor) Begin(total, workers int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.total = total
+	m.done = 0
+	m.workers = workers
+	m.started = time.Now()
+	m.busy = 0
+	m.mu.Unlock()
+}
+
+// RunDone records the completion of one run that took d of wall time.
+func (m *RunMonitor) RunDone(d time.Duration) {
+	if m == nil {
+		return
+	}
+	if m.Registry != nil {
+		m.Registry.Counter("experiment.runs").Inc()
+		m.Registry.Histogram("experiment.run_ms").Observe(uint64(d.Milliseconds()))
+	}
+	m.mu.Lock()
+	m.done++
+	m.busy += d
+	p := m.progressLocked()
+	cb := m.OnProgress
+	if cb != nil {
+		cb(p)
+	}
+	m.mu.Unlock()
+}
+
+// Progress returns the current grid progress.
+func (m *RunMonitor) Progress() Progress {
+	if m == nil {
+		return Progress{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.progressLocked()
+}
+
+func (m *RunMonitor) progressLocked() Progress {
+	p := Progress{
+		Done:    m.done,
+		Total:   m.total,
+		Workers: m.workers,
+		Busy:    m.busy,
+	}
+	if !m.started.IsZero() {
+		p.Elapsed = time.Since(m.started)
+	}
+	if m.done > 0 {
+		p.AvgRun = m.busy / time.Duration(m.done)
+	}
+	return p
+}

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// JSONLSink serialises structured trace events to an io.Writer as JSON
+// Lines, one complete object per line. It is safe for concurrent use; the
+// parallel experiment workers all write through one sink and lines never
+// interleave.
+type JSONLSink struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       io.Closer
+	records atomic.Uint64
+}
+
+// NewJSONLSink wraps w in a buffered JSONL sink. If w is also an
+// io.Closer, Close closes it after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// write appends one record (a complete JSON object without the trailing
+// newline) to the stream.
+func (s *JSONLSink) write(line []byte) {
+	s.mu.Lock()
+	s.w.Write(line)
+	s.w.WriteByte('\n')
+	s.mu.Unlock()
+	s.records.Add(1)
+}
+
+// Records returns the number of events written so far.
+func (s *JSONLSink) Records() uint64 { return s.records.Load() }
+
+// Flush drains the write buffer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Close flushes and, when the underlying writer is closable, closes it.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// RunTrace emits the structured events of one simulation run, stamping
+// each with the run's sequence number and the current simulated cycle. A
+// nil *RunTrace is the disabled trace: every method returns immediately,
+// so instrumented code needs no separate enable flag.
+//
+// A RunTrace is used from the single goroutine driving its run (it reuses
+// an internal scratch buffer); distinct runs may trace concurrently
+// through the shared sink.
+type RunTrace struct {
+	sink  *JSONLSink
+	run   uint64
+	clock func() float64
+	buf   []byte
+}
+
+// SetClock installs the simulated-cycle clock (used when the engine is
+// built after the trace is opened).
+func (rt *RunTrace) SetClock(clock func() float64) {
+	if rt != nil {
+		rt.clock = clock
+	}
+}
+
+// begin starts a record with the common fields: run, cycle, type.
+func (rt *RunTrace) begin(typ string) []byte {
+	b := append(rt.buf[:0], `{"run":`...)
+	b = strconv.AppendUint(b, rt.run, 10)
+	b = append(b, `,"cycle":`...)
+	cycle := 0.0
+	if rt.clock != nil {
+		cycle = rt.clock()
+	}
+	b = strconv.AppendFloat(b, cycle, 'f', -1, 64)
+	b = append(b, `,"type":"`...)
+	b = append(b, typ...)
+	b = append(b, '"')
+	return b
+}
+
+func (rt *RunTrace) end(b []byte) {
+	b = append(b, '}')
+	rt.sink.write(b)
+	rt.buf = b
+}
+
+func appendStr(b []byte, key, v string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendQuote(b, v)
+}
+
+func appendInt(b []byte, key string, v int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendUint(b []byte, key string, v uint64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendUint(b, v, 10)
+}
+
+func appendFloat(b []byte, key string, v float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendBool(b []byte, key string, v bool) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendBool(b, v)
+}
+
+// RunStart records the configuration of a run.
+func (rt *RunTrace) RunStart(app string, packets int, seed uint64, cr float64, dynamic bool, detection string, strikes int, scale float64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin("run_start")
+	b = appendStr(b, "app", app)
+	b = appendInt(b, "packets", int64(packets))
+	b = appendUint(b, "seed", seed)
+	b = appendFloat(b, "cr", cr)
+	b = appendBool(b, "dynamic", dynamic)
+	b = appendStr(b, "detection", detection)
+	b = appendInt(b, "strikes", int64(strikes))
+	b = appendFloat(b, "scale", scale)
+	rt.end(b)
+}
+
+// RunEnd records the outcome of a run.
+func (rt *RunTrace) RunEnd(processed int, instrs uint64, fatal bool) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin("run_end")
+	b = appendInt(b, "processed", int64(processed))
+	b = appendUint(b, "instrs", instrs)
+	b = appendBool(b, "fatal", fatal)
+	rt.end(b)
+}
+
+// FaultInjection records one injected fault event on the L1D read or write
+// path: how many bits flipped and at which simulated address.
+func (rt *RunTrace) FaultInjection(path string, bitsFlipped int, addr uint64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin("fault_injection")
+	b = appendStr(b, "path", path)
+	b = appendInt(b, "bits", int64(bitsFlipped))
+	b = appendUint(b, "addr", addr)
+	rt.end(b)
+}
+
+// Recovery records one step of the k-strike recovery machinery: kind is
+// "retry" (an L1 re-read), "line" (full-line invalidate and refetch),
+// "subblock" (per-word refetch), or "ecc_correct" (transparent SEC-DED
+// repair). attempt is the strike number that triggered the step.
+func (rt *RunTrace) Recovery(kind string, attempt int, addr uint64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin("recovery")
+	b = appendStr(b, "kind", kind)
+	b = appendInt(b, "attempt", int64(attempt))
+	b = appendUint(b, "addr", addr)
+	rt.end(b)
+}
+
+// FreqTransition records one dynamic-frequency decision that changed the
+// operating point: the packet index at which it took effect, the decision
+// ("speed up" / "slow down"), and the new relative cycle time.
+func (rt *RunTrace) FreqTransition(packet int, decision string, cr float64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin("freq_transition")
+	b = appendInt(b, "packet", int64(packet))
+	b = appendStr(b, "decision", decision)
+	b = appendFloat(b, "cr", cr)
+	rt.end(b)
+}
+
+// PacketDrop records the packet on which a run died (watchdog trip, memory
+// trap, or traversal loop); the remaining packets of the trace are lost.
+func (rt *RunTrace) PacketDrop(packet int, reason string) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin("packet_drop")
+	b = appendInt(b, "packet", int64(packet))
+	b = appendStr(b, "reason", reason)
+	rt.end(b)
+}
