@@ -43,32 +43,38 @@ func main() {
 // that compound commands (extensions, all) re-dispatch without re-parsing
 // flags or re-initialising the observability stack.
 type cliOpts struct {
-	opt       experiment.Options
-	app       string
-	packets   int
-	seed      uint64
-	scale     float64
-	cr        float64
-	dynamic   bool
-	parity    bool
-	strikes   int
-	format    string
-	out       string
-	tracePath string
-	tel       *telemetry.Telemetry
+	opt         experiment.Options
+	app         string
+	packets     int
+	seed        uint64
+	scale       float64
+	cr          float64
+	dynamic     bool
+	parity      bool
+	strikes     int
+	recovery    clumsy.RecoveryPolicy
+	maxDropRate float64
+	watchdog    float64
+	format      string
+	out         string
+	tracePath   string
+	tel         *telemetry.Telemetry
 }
 
 // runConfig builds the single-run configuration of the run/stats commands.
 func (o cliOpts) runConfig() clumsy.Config {
 	return clumsy.Config{
-		App:        o.app,
-		Packets:    max(o.packets, 1000),
-		Seed:       max64(o.seed, 1),
-		CycleTime:  o.cr,
-		Dynamic:    o.dynamic,
-		Detection:  detectionOf(o.parity),
-		Strikes:    o.strikes,
-		FaultScale: maxf(o.scale, 1),
+		App:            o.app,
+		Packets:        max(o.packets, 1000),
+		Seed:           max64(o.seed, 1),
+		CycleTime:      o.cr,
+		Dynamic:        o.dynamic,
+		Detection:      detectionOf(o.parity),
+		Strikes:        o.strikes,
+		FaultScale:     maxf(o.scale, 1),
+		Recovery:       o.recovery,
+		MaxDropRate:    o.maxDropRate,
+		WatchdogFactor: o.watchdog,
 	}
 }
 
@@ -91,6 +97,9 @@ func run(args []string, w io.Writer) (err error) {
 	dynamic := fs.Bool("dynamic", false, "use the dynamic frequency controller for run")
 	parity := fs.Bool("parity", false, "enable parity detection for run")
 	strikes := fs.Int("strikes", 1, "recovery strikes under parity for run")
+	recovery := fs.String("recovery", "abort", "fatal-error policy: abort (paper semantics) or drop (contain and continue)")
+	maxDropRate := fs.Float64("max-drop-rate", 0, "under -recovery drop, abort once this drop fraction is exceeded (0 = unlimited)")
+	watchdog := fs.Float64("watchdog", 0, "per-packet instruction budget as a multiple of the golden worst packet (0 = default 500)")
 	format := fs.String("format", "text", "output format: text or csv (stats: text=Prometheus or json)")
 	out := fs.String("out", "", "write binary output to this file (trace command)")
 	tracePath := fs.String("trace", "", "replay a binary trace file instead of generating (run command)")
@@ -101,20 +110,30 @@ func run(args []string, w io.Writer) (err error) {
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
+	policy, err := clumsy.ParseRecoveryPolicy(*recovery)
+	if err != nil {
+		return err
+	}
 
 	o := cliOpts{
-		opt:       experiment.Options{Packets: *packets, Trials: *trials, FaultScale: *scale, Seed: *seed},
-		app:       *appName,
-		packets:   *packets,
-		seed:      *seed,
-		scale:     *scale,
-		cr:        *cr,
-		dynamic:   *dynamic,
-		parity:    *parity,
-		strikes:   *strikes,
-		format:    *format,
-		out:       *out,
-		tracePath: *tracePath,
+		opt: experiment.Options{
+			Packets: *packets, Trials: *trials, FaultScale: *scale, Seed: *seed,
+			Recovery: policy, MaxDropRate: *maxDropRate,
+		},
+		app:         *appName,
+		packets:     *packets,
+		seed:        *seed,
+		scale:       *scale,
+		cr:          *cr,
+		dynamic:     *dynamic,
+		parity:      *parity,
+		strikes:     *strikes,
+		recovery:    policy,
+		maxDropRate: *maxDropRate,
+		watchdog:    *watchdog,
+		format:      *format,
+		out:         *out,
+		tracePath:   *tracePath,
 	}
 
 	// Observability stack. The hub is installed as the process default so
@@ -476,6 +495,13 @@ func report(w io.Writer, res *clumsy.Result) error {
 		res.Instrs, res.Cycles, res.Delay, res.Energy.Total())
 	fmt.Fprintf(w, "packets: %d/%d processed, fallibility %.4f, fatal %v\n",
 		res.Report.Processed, res.Report.GoldenPackets, res.Fallibility(), res.Report.Fatal)
+	if cfg.Recovery == clumsy.RecoverDrop {
+		fmt.Fprintf(w, "containment: %d dropped, %d contained, %d pages restored, drop rate %.5f\n",
+			res.Report.Dropped, res.Contained, res.RestoredPages, res.Report.DropRate())
+		if res.FatalErr != nil {
+			fmt.Fprintf(w, "  run still ended fatally: %v\n", res.FatalErr)
+		}
+	}
 	fmt.Fprintf(w, "faults: %d read, %d write; parity errors %d, retries %d, recoveries %d\n",
 		res.Recovery.FaultsOnRead, res.Recovery.FaultsOnWrite,
 		res.Recovery.ParityErrors, res.Recovery.Retries, res.Recovery.Recoveries)
@@ -574,7 +600,8 @@ experiments:
   fig12   EDF^2 panels: url, average of all applications
   all     everything above in paper order
   verify  check the paper's headline claims programmatically (exit 1 on failure)
-  run     one simulation (-app -cr -dynamic -parity -strikes -scale [-trace f])
+  run     one simulation (-app -cr -dynamic -parity -strikes -scale
+          -recovery abort|drop -max-drop-rate X -watchdog X [-trace f])
   stats   one simulation like run, then dump the telemetry counter registry
           (-format text = Prometheus exposition, -format json = JSON)
   trace   dump an application's workload (-app -packets -seed [-out file])
@@ -591,6 +618,18 @@ extensions (beyond the paper's evaluation; -app selects the workload):
   extensions all seven extension studies
 
 common flags: -packets N  -trials N  -scale X  -seed N  -format text|csv
+
+fault containment (any simulation command):
+  -recovery abort|drop   abort reproduces the paper's measurement semantics
+                         (a fatal error ends the run); drop contains fatal
+                         errors at packet granularity: the packet is dropped,
+                         simulated memory is rolled back to the last packet
+                         boundary, and the run continues
+  -max-drop-rate X       under drop, declare the run failed once the dropped
+                         fraction of attempted packets exceeds X (0 = never)
+  -watchdog X            per-packet instruction budget as a multiple of the
+                         golden run's worst packet (0 = default 500); tight
+                         budgets (< 1) make heavy packets trip the watchdog
 
 observability (any command):
   -trace-out f.jsonl   structured event trace of every simulated run

@@ -115,6 +115,36 @@ func TestRunDynamic(t *testing.T) {
 	}
 }
 
+func TestRunDropPolicy(t *testing.T) {
+	// A tight watchdog budget makes the trace's heaviest packets trip the
+	// watchdog; the drop policy must contain them and report the accounting.
+	out := capture(t, "run", "-app", "route", "-cr", "0.25", "-recovery", "drop",
+		"-watchdog", "0.7", "-seed", "1")
+	if !strings.Contains(out, "containment:") {
+		t.Fatalf("drop-policy run missing containment line:\n%s", out)
+	}
+	if strings.Contains(out, "containment: 0 dropped") {
+		t.Fatalf("tight watchdog under drop should drop packets:\n%s", out)
+	}
+	if strings.Contains(out, "fatal true") {
+		t.Fatalf("contained run must not be fatal:\n%s", out)
+	}
+}
+
+func TestRunAbortPolicyHidesContainment(t *testing.T) {
+	out := capture(t, "run", "-app", "route", "-cr", "0.5", "-packets", "1000")
+	if strings.Contains(out, "containment:") {
+		t.Fatalf("abort-policy run must not print containment accounting:\n%s", out)
+	}
+}
+
+func TestRunBadRecoveryPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"run", "-recovery", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown recovery policy should error")
+	}
+}
+
 func TestRunUnknownApp(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"run", "-app", "bogus"}, &buf); err == nil {

@@ -60,6 +60,20 @@ type App interface {
 	Process(ctx *Context, p *packet.Packet, buf simmem.Addr) error
 }
 
+// ScratchResetter is an optional App extension for fault containment.
+// After a fatal error is contained (packet dropped, simulated memory rolled
+// back to the last packet boundary), the processor calls ResetScratch so
+// the application discards any host-side (Go-level) state it caches between
+// packets — values read from the now-restored simulated memory would
+// otherwise survive the rollback and diverge from it. The seven NetBench
+// applications keep all inter-packet state inside the simulated space
+// (tables, queues, digests) and their Go fields are set once during Setup,
+// so none of them needs the hook today; it is the contract future stateful
+// workloads must meet to be containable.
+type ScratchResetter interface {
+	ResetScratch()
+}
+
 // routingSeed fixes the prefix population shared by an app's routing table
 // and its generated traffic; the table contents are part of the workload
 // definition, not of the experiment seed.

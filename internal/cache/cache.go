@@ -186,6 +186,83 @@ func (t *table) invalidateRange(addr simmem.Addr, n int) {
 	}
 }
 
+// lineState is the restorable bookkeeping of one cache line; the byte
+// payloads live in flat buffers of the tableSnap so repeated snapshots
+// reuse the same allocations.
+type lineState struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	lru   uint64
+}
+
+// tableSnap is a deep copy of a table's restorable state. Statistics and
+// energy are deliberately not part of it: a fault-containment rollback
+// rewinds the machine's contents, not its measurements.
+type tableSnap struct {
+	meta []lineState
+	data []byte
+	par  []byte
+	enc  []uint32 // empty unless ECC storage is allocated
+	tick uint64
+}
+
+// snapshot copies the table's full line state into snap, allocating it (or
+// its buffers) on first use. The returned value is snap, or a fresh
+// snapshot when snap is nil.
+func (t *table) snapshot(snap *tableSnap) *tableSnap {
+	nline := len(t.sets) * t.cfg.Assoc
+	bs := t.cfg.BlockSize
+	if snap == nil {
+		snap = &tableSnap{}
+	}
+	if len(snap.meta) != nline {
+		snap.meta = make([]lineState, nline)
+		snap.data = make([]byte, nline*bs)
+		snap.par = make([]byte, nline*(bs/4))
+	}
+	i := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			ln := &t.sets[s][w]
+			snap.meta[i] = lineState{valid: ln.valid, dirty: ln.dirty, tag: ln.tag, lru: ln.lru}
+			copy(snap.data[i*bs:], ln.data)
+			copy(snap.par[i*(bs/4):], ln.parity)
+			if ln.enc != nil {
+				if len(snap.enc) != nline*(bs/4) {
+					snap.enc = make([]uint32, nline*(bs/4))
+				}
+				copy(snap.enc[i*(bs/4):], ln.enc)
+			}
+			i++
+		}
+	}
+	snap.tick = t.tick
+	return snap
+}
+
+// restore copies a snapshot taken from this table back into it. The table
+// afterwards holds exactly the lines, payloads, and LRU state of the
+// snapshot moment.
+func (t *table) restore(snap *tableSnap) {
+	bs := t.cfg.BlockSize
+	i := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			ln := &t.sets[s][w]
+			st := snap.meta[i]
+			ln.valid, ln.dirty, ln.tag, ln.lru = st.valid, st.dirty, st.tag, st.lru
+			copy(ln.data, snap.data[i*bs:(i+1)*bs])
+			copy(ln.parity, snap.par[i*(bs/4):(i+1)*(bs/4)])
+			if ln.enc != nil && len(snap.enc) > 0 {
+				copy(ln.enc, snap.enc[i*(bs/4):(i+1)*(bs/4)])
+			}
+			i++
+		}
+	}
+	t.tick = snap.tick
+}
+
 // invalidateAll drops every line (used between golden/faulty runs).
 func (t *table) invalidateAll() {
 	for s := range t.sets {

@@ -94,6 +94,40 @@ func (h *Hierarchy) DMA(addr simmem.Addr, data []byte) error {
 	return nil
 }
 
+// Snapshot is a deep copy of the restorable state of every cache level —
+// line payloads, tags, valid/dirty bits, parity/ECC check bits, and LRU
+// order. Together with a simmem.Checkpoint of the backing space it captures
+// the complete architectural memory state of the machine; statistics and
+// energy accounting are excluded (a rollback rewinds contents, not
+// measurements). Snapshots must be restored into the hierarchy they were
+// taken from.
+type Snapshot struct {
+	l1d, l1i, l2 *tableSnap
+}
+
+// Snapshot copies the current cache state into snap, reusing its buffers
+// when possible; pass nil to allocate a fresh one. Taking a snapshot has no
+// architectural effect — no accesses, write-backs, stats, or energy.
+func (h *Hierarchy) Snapshot(snap *Snapshot) *Snapshot {
+	if snap == nil {
+		snap = &Snapshot{}
+	}
+	snap.l1d = h.L1D.tab.snapshot(snap.l1d)
+	snap.l1i = h.L1I.tab.snapshot(snap.l1i)
+	snap.l2 = h.L2.tab.snapshot(snap.l2)
+	return snap
+}
+
+// RestoreSnapshot copies a snapshot back into the hierarchy. Afterwards
+// every level holds exactly the lines it held at the snapshot moment, so a
+// continuation reads the same values — including the same hit/miss and
+// write-back behaviour — as an execution that never deviated after it.
+func (h *Hierarchy) RestoreSnapshot(snap *Snapshot) {
+	h.L1D.tab.restore(snap.l1d)
+	h.L1I.tab.restore(snap.l1i)
+	h.L2.tab.restore(snap.l2)
+}
+
 // InvalidateAll flushes every level without write-back.
 func (h *Hierarchy) InvalidateAll() {
 	h.L1D.InvalidateAll()

@@ -43,6 +43,55 @@ func (p Planes) String() string {
 	}
 }
 
+// RecoveryPolicy selects what the faulty run does when a fatal error
+// strikes during packet processing.
+type RecoveryPolicy int
+
+const (
+	// RecoverAbort ends the run at the first fatal error — the paper's
+	// measurement semantics (Section 4.1: figures are based on the packets
+	// processed until the fatal error). This is the default; every
+	// paper-fidelity table and figure is produced under it.
+	RecoverAbort RecoveryPolicy = iota
+	// RecoverDrop contains the fault at packet granularity, the way the
+	// paper argues real routers behave (Section 2: drop the offending
+	// packet and keep forwarding): the watchdog-budget cycles are charged,
+	// the packet is dropped, the control-plane state is rolled back to the
+	// last packet boundary from the checkpoint, and the run continues with
+	// the next packet.
+	RecoverDrop
+)
+
+func (p RecoveryPolicy) String() string {
+	if p == RecoverDrop {
+		return "drop"
+	}
+	return "abort"
+}
+
+// ParseRecoveryPolicy parses the CLI spelling of a policy.
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
+	switch s {
+	case "", "abort":
+		return RecoverAbort, nil
+	case "drop":
+		return RecoverDrop, nil
+	default:
+		return RecoverAbort, fmt.Errorf("clumsy: unknown recovery policy %q (want abort or drop)", s)
+	}
+}
+
+// ErrAppPanic marks a Go panic raised by an application while processing a
+// packet — typically an out-of-range slice index or similar computed from
+// corrupted simulated memory. The packet loop contains it with recover()
+// and treats it like any other fatal error.
+var ErrAppPanic = errors.New("clumsy: application panicked")
+
+// ErrDropRateExceeded ends a drop-and-continue run whose drop fraction
+// exceeded Config.MaxDropRate — the graceful-degradation threshold beyond
+// which the processor is considered failed rather than clumsy.
+var ErrDropRateExceeded = errors.New("clumsy: drop rate exceeded MaxDropRate")
+
 // Config describes one simulation run.
 type Config struct {
 	App     string // NetBench application name
@@ -74,6 +123,20 @@ type Config struct {
 	// what makes fatal configurations expensive in the EDF metric, as in
 	// the paper's off-scale bars. Zero selects the default of 500.
 	WatchdogFactor float64
+
+	// Recovery selects the fatal-error policy of the faulty run:
+	// RecoverAbort (the default) reproduces the paper's semantics,
+	// RecoverDrop contains fatal errors at packet granularity via
+	// checkpoint/restore of the simulated memory. A fatal error during
+	// Setup always aborts: there is no pre-fault state to restore before
+	// the control plane has been built.
+	Recovery RecoveryPolicy
+
+	// MaxDropRate, under RecoverDrop, is the graceful-degradation
+	// threshold: once the fraction of attempted packets that were dropped
+	// exceeds it, the run aborts with ErrDropRateExceeded. Zero means no
+	// threshold (drop forever).
+	MaxDropRate float64
 
 	// SpaceBytes overrides the simulated memory size (0 = auto).
 	SpaceBytes int
@@ -132,6 +195,10 @@ type Result struct {
 	Recovery  cache.RecoveryStats
 	FatalErr  error // the error that ended a fatal run (nil otherwise)
 	SetupDied bool  // the fatal error struck during the control plane
+
+	// Fault-containment bookkeeping (RecoverDrop runs; zero under abort).
+	Contained     int    // fatal errors contained as packet drops
+	RestoredPages uint64 // checkpoint pages rolled back across all drops
 
 	Report metrics.Report
 
@@ -220,6 +287,8 @@ func RunWithTrace(cfg Config, trace *packet.Trace) (*Result, error) {
 	res.Recovery = faulty.recovery
 	res.FatalErr = faulty.fatal
 	res.SetupDied = faulty.setupDied
+	res.Contained = faulty.contained
+	res.RestoredPages = faulty.restoredPages
 	res.LevelPackets = faulty.levelPackets
 	res.Switches = faulty.switches
 	res.Timeline = faulty.timeline
@@ -256,6 +325,15 @@ type onceResult struct {
 	levelPackets    []uint64
 	switches        int
 	timeline        []FreqEvent
+
+	// Fault-containment accounting. drops counts packet_drop events (one
+	// per fatal error, whether aborted or contained); contained and
+	// restoredPages cover only contained drops; watchdogKills counts
+	// watchdog trips among the fatal errors.
+	drops         int
+	contained     int
+	restoredPages uint64
+	watchdogKills int
 }
 
 // appBlocks is the size of the synthetic code segment, comfortably above
@@ -344,24 +422,47 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 
 	out := &onceResult{rec: rec}
 
-	// Control plane.
+	// Control plane. A fatal error here always aborts, whatever the
+	// recovery policy: the checkpoint that drop-and-continue restores from
+	// is only taken once Setup has produced a state worth preserving (a
+	// real router would rebuild its tables, not roll them back).
 	if inj != nil && inj.planes&PlaneControl != 0 {
 		injector.SetEnabled(true)
 	}
-	if err := app.Setup(ctx, trace); err != nil {
+	if err := runSetup(app, ctx, trace); err != nil {
 		if !isFatal(err) {
 			return nil, err
 		}
 		out.fatal = err
 		out.setupDied = true
+		out.drops++
+		if errors.Is(err, ErrWatchdog) {
+			out.watchdogKills++
+		}
 		rt.PacketDrop(-1, dropReason(err)) // died during the control plane
 		finish(out, eng, h, cfg, ctrl, 0, 0)
-		finishTelemetry(tel, rt, out, eng, h, ctrl, len(trace.Packets), 0)
+		finishTelemetry(tel, rt, out, eng, h, ctrl, 0)
 		return out, nil
 	}
 	injector.SetEnabled(false)
 	rec.BeginPackets()
 	setupCycles := eng.totalCycles()
+
+	// Checkpoint the post-setup state before the injector is re-enabled.
+	// The restore point is the complete architectural memory state — the
+	// backing space (dirty-page granular) plus a deep copy of every cache
+	// level — so a rolled-back execution continues bit-exactly as if the
+	// failed packet had never run: same values, same hits and misses, same
+	// write-back order. Neither the checkpoint nor the per-packet commits
+	// touch the simulated machine, which keeps drop-policy runs without
+	// fatal errors identical to abort-policy runs.
+	var ckpt *simmem.Checkpoint
+	var cacheState *cache.Snapshot
+	if inj != nil && cfg.Recovery == RecoverDrop {
+		ckpt = space.NewCheckpoint()
+		defer ckpt.Release()
+		cacheState = h.Snapshot(nil)
+	}
 
 	// Data plane.
 	if inj != nil && inj.planes&PlaneData != 0 {
@@ -384,13 +485,12 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			return nil, err
 		}
 		eng.beginPacket()
-		if err := app.Process(ctx, p, buf); err != nil {
+		if err := processPacket(app, ctx, p, buf); err != nil {
 			if !isFatal(err) {
 				return nil, err
 			}
-			out.fatal = err
 			// The execution is stuck or trapped; the processor spins for
-			// the remainder of the watchdog budget before the run is
+			// the remainder of the watchdog budget before the packet is
 			// declared dead, and those cycles are real (Section 4.1: the
 			// reported figures are based on the packets processed until
 			// the fatal error, over the cycles actually burned).
@@ -399,8 +499,40 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 					eng.core += float64(budget - spent)
 				}
 			}
+			out.drops++
+			if errors.Is(err, ErrWatchdog) {
+				out.watchdogKills++
+			}
 			rt.PacketDrop(i, dropReason(err))
-			break
+			if ckpt == nil {
+				out.fatal = err
+				break
+			}
+			// Contain the fault: drop the packet and roll the whole
+			// memory state — backing space and cache contents — back to
+			// the last packet boundary. Execution resumes with the next
+			// packet on exactly the machine state the failed packet
+			// started from; only its burned cycles remain.
+			pages := ckpt.Restore()
+			h.RestoreSnapshot(cacheState)
+			out.contained++
+			out.restoredPages += uint64(pages)
+			rec.DropPacket()
+			rt.StateRestore(i, pages, dropReason(err))
+			if sr, ok := app.(apps.ScratchResetter); ok {
+				sr.ResetScratch()
+			}
+			if histInstrs != nil {
+				prevCycles = eng.totalCycles()
+			}
+			if cfg.MaxDropRate > 0 {
+				if rate := float64(out.contained) / float64(i+1); rate > cfg.MaxDropRate {
+					out.fatal = fmt.Errorf("%w: %.4f > %.4f after packet %d",
+						ErrDropRateExceeded, rate, cfg.MaxDropRate, i)
+					break
+				}
+			}
+			continue
 		}
 		rec.EndPacket()
 		processed++
@@ -413,6 +545,11 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			histCycles.Observe(uint64(now - prevCycles))
 			prevCycles = now
 		}
+		if ckpt != nil {
+			// Advance the restore point to this packet boundary.
+			ckpt.Commit()
+			cacheState = h.Snapshot(cacheState)
+		}
 		if ctrl != nil {
 			newErrors := h.L1D.Recovery.ParityErrors - parityMark
 			parityMark = h.L1D.Recovery.ParityErrors
@@ -424,8 +561,34 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 		}
 	}
 	finish(out, eng, h, cfg, ctrl, setupCycles, processed)
-	finishTelemetry(tel, rt, out, eng, h, ctrl, len(trace.Packets), processed)
+	finishTelemetry(tel, rt, out, eng, h, ctrl, processed)
 	return out, nil
+}
+
+// runSetup executes the application's control plane with panic isolation:
+// a Go panic raised on corrupted state is converted into a fatal
+// application error instead of unwinding the whole process.
+func runSetup(app apps.App, ctx *apps.Context, trace *packet.Trace) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w (setup): %v", ErrAppPanic, r)
+		}
+	}()
+	return app.Setup(ctx, trace)
+}
+
+// processPacket executes one packet with panic isolation. An application
+// that reads fault-corrupted simulated memory can derive an impossible
+// value and panic in host code (slice bounds, division by zero); the
+// recover here turns that into a fatal error the packet loop can contain
+// or abort on, exactly like a watchdog trip.
+func processPacket(app apps.App, ctx *apps.Context, p *packet.Packet, buf simmem.Addr) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrAppPanic, r)
+		}
+	}()
+	return app.Process(ctx, p, buf)
 }
 
 // finish folds the accumulated statistics into the result.
@@ -459,11 +622,12 @@ func finish(out *onceResult, eng *engine, h *cache.Hierarchy, cfg Config, ctrl *
 }
 
 // isFatal reports whether err is an application-level fatal error (a trap
-// on a corrupted address, a traversal cycle, or a watchdog trip) rather
-// than a simulator bug.
+// on a corrupted address, a traversal cycle, a watchdog trip, or a
+// contained application panic) rather than a simulator bug.
 func isFatal(err error) bool {
 	var ae *simmem.AccessError
-	return errors.As(err, &ae) || errors.Is(err, ErrWatchdog) || errors.Is(err, radix.ErrLoop)
+	return errors.As(err, &ae) || errors.Is(err, ErrWatchdog) ||
+		errors.Is(err, radix.ErrLoop) || errors.Is(err, ErrAppPanic)
 }
 
 // dmaPacket places one packet (header + payload) into fresh, line-aligned

@@ -47,7 +47,7 @@ func wireFreqTelemetry(ctrl *freqctl.Controller, reg *telemetry.Registry) {
 // registry and closes the run trace. The simulator's hot paths keep their
 // plain struct counters; this once-per-run flush is what makes the
 // telemetry layer free while a run executes.
-func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *onceResult, eng *engine, h *cache.Hierarchy, ctrl *freqctl.Controller, totalPackets, processed int) {
+func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *onceResult, eng *engine, h *cache.Hierarchy, ctrl *freqctl.Controller, processed int) {
 	if tel == nil {
 		return
 	}
@@ -55,12 +55,20 @@ func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *once
 	reg.Counter("run.count").Inc()
 	if out.fatal != nil {
 		reg.Counter("run.fatal").Inc()
-		if errors.Is(out.fatal, ErrWatchdog) {
-			reg.Counter("watchdog.kills").Inc()
-		}
-		if dropped := totalPackets - processed; dropped > 0 {
-			reg.Counter("run.packets_dropped").Add(uint64(dropped))
-		}
+	}
+	// Drops are counted from the actual per-packet drop events, not
+	// inferred as trace-length minus processed: under drop-and-continue a
+	// run completes the trace yet still dropped packets, and under abort
+	// the packets after the fatal one were never attempted, only lost.
+	if out.drops > 0 {
+		reg.Counter("run.packets_dropped").Add(uint64(out.drops))
+	}
+	if out.watchdogKills > 0 {
+		reg.Counter("watchdog.kills").Add(uint64(out.watchdogKills))
+	}
+	if out.contained > 0 {
+		reg.Counter("recovery.contained").Add(uint64(out.contained))
+		reg.Counter("recovery.restored_pages").Add(out.restoredPages)
 	}
 	reg.Counter("run.packets_processed").Add(uint64(processed))
 	reg.Counter("run.instructions").Add(eng.instrs)
@@ -84,7 +92,7 @@ func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *once
 		reg.Counter("freq.switches").Add(uint64(ctrl.Switches))
 		reg.Counter("freq.penalty_cycles").Add(uint64(ctrl.PenaltyCycles))
 	}
-	rt.RunEnd(processed, eng.instrs, out.fatal != nil)
+	rt.RunEnd(processed, out.drops, eng.instrs, out.fatal != nil)
 }
 
 // addCacheStats folds one cache level's statistics into prefixed counters.
@@ -107,6 +115,8 @@ func dropReason(err error) string {
 		return "watchdog"
 	case errors.Is(err, radix.ErrLoop):
 		return "loop"
+	case errors.Is(err, ErrAppPanic):
+		return "panic"
 	case errors.As(err, &ae):
 		return "memory_trap"
 	default:

@@ -43,7 +43,7 @@ func ExtDVS(app string, o Options) ([]DVSRow, error) {
 	o = o.withDefaults()
 
 	// Baseline run: full frequency, no detection, negligible faults.
-	base, err := clumsy.Run(clumsy.Config{
+	base, err := o.run(clumsy.Config{
 		App: app, Packets: o.Packets, Seed: o.trialSeed(0), FaultScale: 1e-12,
 	})
 	if err != nil {
@@ -82,7 +82,7 @@ func ExtDVS(app string, o Options) ([]DVSRow, error) {
 	for _, cr := range []float64{0.75, 0.5, 0.25} {
 		var eSum, dSum, fSum, edfSum float64
 		for trial := 0; trial < o.Trials; trial++ {
-			res, err := clumsy.Run(clumsy.Config{
+			res, err := o.run(clumsy.Config{
 				App: app, Packets: o.Packets, Seed: o.trialSeed(trial),
 				CycleTime: cr, Detection: cache.DetectionParity, Strikes: 2,
 				FaultScale: o.FaultScale,

@@ -92,7 +92,7 @@ func EDFGrid(app string, o Options) (*EDFResult, error) {
 		var edf stats.Sample
 		var eSum, dSum, fSum float64
 		for trial := 0; trial < o.Trials; trial++ {
-			res, err := clumsy.Run(clumsy.Config{
+			res, err := o.run(clumsy.Config{
 				App:        app,
 				Packets:    o.Packets,
 				Seed:       o.trialSeed(trial), // common random numbers across the grid

@@ -35,7 +35,7 @@ func ErrorBehaviour(app string, o Options) ([]ErrorSweep, error) {
 			probSum := map[string]float64{}
 			fatalSum := 0.0
 			for trial := 0; trial < o.Trials; trial++ {
-				res, err := clumsy.Run(clumsy.Config{
+				res, err := o.run(clumsy.Config{
 					App:        app,
 					Packets:    o.Packets,
 					Seed:       o.trialSeed(trial), // common random numbers across operating points
@@ -126,7 +126,7 @@ func Fig8(o Options) ([]FatalRow, error) {
 		for _, cr := range CycleTimes {
 			sum := 0.0
 			for trial := 0; trial < o.Trials; trial++ {
-				res, err := clumsy.Run(clumsy.Config{
+				res, err := o.run(clumsy.Config{
 					App:        name,
 					Packets:    o.Packets,
 					Seed:       o.trialSeed(trial), // common random numbers across operating points

@@ -7,6 +7,7 @@ package experiment
 import (
 	"fmt"
 
+	"clumsy/internal/clumsy"
 	"clumsy/internal/metrics"
 )
 
@@ -20,6 +21,15 @@ type Options struct {
 	FaultScale float64 // fault-rate multiplier (1 = the paper's physical rate)
 	Exponents  metrics.EDFExponents
 	Seed       uint64 // base experiment seed
+
+	// Recovery is the fatal-error policy applied to every run of every
+	// experiment. The zero value (RecoverAbort) reproduces the paper's
+	// measurement semantics; RecoverDrop regenerates the tables and figures
+	// under packet-level fault containment instead.
+	Recovery clumsy.RecoveryPolicy
+	// MaxDropRate is the graceful-degradation threshold forwarded to every
+	// run under RecoverDrop (0 = unlimited).
+	MaxDropRate float64
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -56,6 +66,15 @@ func (o Options) withDefaults() Options {
 // trialSeed derives the seed of one trial.
 func (o Options) trialSeed(trial int) uint64 {
 	return o.Seed*0x9e3779b9 + uint64(trial)*0x85ebca6b + 1
+}
+
+// run executes one configuration with the experiment-wide recovery policy
+// applied. Every experiment goes through this wrapper so a single Options
+// switch regenerates the whole evaluation under drop-and-continue.
+func (o Options) run(cfg clumsy.Config) (*clumsy.Result, error) {
+	cfg.Recovery = o.Recovery
+	cfg.MaxDropRate = o.MaxDropRate
+	return clumsy.Run(cfg)
 }
 
 // CycleTimes are the paper's operating points, slowest first.

@@ -43,7 +43,7 @@ func ExtDetection(app string, o Options) ([]DetectionCell, error) {
 			cell := DetectionCell{Detection: det, CycleTime: cr}
 			var edfSum, fallSum float64
 			for trial := 0; trial < o.Trials; trial++ {
-				res, err := clumsy.Run(clumsy.Config{
+				res, err := o.run(clumsy.Config{
 					App:        app,
 					Packets:    o.Packets,
 					Seed:       o.trialSeed(trial),
@@ -142,7 +142,7 @@ func ExtSubBlock(app string, o Options) ([]SubBlockCell, error) {
 			var edfSum float64
 			var l2, rec uint64
 			for trial := 0; trial < o.Trials; trial++ {
-				res, err := clumsy.Run(clumsy.Config{
+				res, err := o.run(clumsy.Config{
 					App:        app,
 					Packets:    o.Packets,
 					Seed:       o.trialSeed(trial),

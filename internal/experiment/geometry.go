@@ -39,7 +39,7 @@ func ExtGeometry(app string, o Options) ([]GeometryCell, error) {
 			cell := GeometryCell{SizeBytes: size, CycleTime: cr}
 			var edfSum, missSum float64
 			for trial := 0; trial < o.Trials; trial++ {
-				res, err := clumsy.Run(clumsy.Config{
+				res, err := o.run(clumsy.Config{
 					App:        app,
 					Packets:    o.Packets,
 					Seed:       o.trialSeed(trial),

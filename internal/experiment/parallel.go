@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,11 +36,23 @@ func parallelFor(n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	runItem := fn
+	// A panic in one grid cell (an application bug surfaced by an unusual
+	// seed, or a simulator defect) must not unwind a worker goroutine and
+	// crash the whole campaign: it is converted into an error carrying the
+	// grid index, and cancels the grid like any other failure.
+	runItem := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiment: panic in grid item %d: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
 	if mon != nil {
+		inner := runItem
 		runItem = func(i int) error {
 			start := time.Now()
-			err := fn(i)
+			err := inner(i)
 			mon.RunDone(time.Since(start))
 			return err
 		}

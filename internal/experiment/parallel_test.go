@@ -3,6 +3,7 @@ package experiment
 import (
 	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -94,6 +95,39 @@ func TestParallelForEarlyCancel(t *testing.T) {
 	}
 	if got := calls.Load(); got > n/2 {
 		t.Fatalf("executed %d of %d items after the first error; early-cancel is not working", got, n)
+	}
+}
+
+// TestParallelForPanicRecovery is the regression test for worker panic
+// containment: a panic inside one grid item must surface as an error naming
+// the item's index, not crash the process, on both the parallel and the
+// serial path.
+func TestParallelForPanicRecovery(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	err := parallelFor(50, func(i int) error {
+		if i == 23 {
+			panic("index out of range [12] with length 4")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking item must fail the grid")
+	}
+	if !strings.Contains(err.Error(), "grid item 23") ||
+		!strings.Contains(err.Error(), "index out of range") {
+		t.Fatalf("panic error must carry the grid index and cause: %v", err)
+	}
+
+	runtime.GOMAXPROCS(1)
+	err = parallelFor(3, func(i int) error {
+		if i == 1 {
+			panic("serial boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "grid item 1") {
+		t.Fatalf("serial path must contain panics too: %v", err)
 	}
 }
 

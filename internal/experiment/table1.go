@@ -33,7 +33,7 @@ func Table1(o Options) ([]Table1Row, error) {
 		for _, cr := range []float64{0.5, 0.25} {
 			var fall stats.Sample
 			for trial := 0; trial < o.Trials; trial++ {
-				res, err := clumsy.Run(clumsy.Config{
+				res, err := o.run(clumsy.Config{
 					App:        name,
 					Packets:    o.Packets,
 					Seed:       o.trialSeed(trial),

@@ -39,7 +39,7 @@ func ExtTuning(app string, o Options) ([]TuningCell, error) {
 	// controller would idle at).
 	var baseline float64
 	for trial := 0; trial < o.Trials; trial++ {
-		res, err := clumsy.Run(clumsy.Config{
+		res, err := o.run(clumsy.Config{
 			App: app, Packets: o.Packets, Seed: o.trialSeed(trial),
 			CycleTime: 1, Detection: cache.DetectionParity, Strikes: 2,
 			FaultScale: o.FaultScale,
@@ -57,7 +57,7 @@ func ExtTuning(app string, o Options) ([]TuningCell, error) {
 		x2 := TuningX2[idx%len(TuningX2)]
 		var edfSum, swSum float64
 		for trial := 0; trial < o.Trials; trial++ {
-			res, err := clumsy.Run(clumsy.Config{
+			res, err := o.run(clumsy.Config{
 				App: app, Packets: o.Packets, Seed: o.trialSeed(trial),
 				Dynamic: true, X1: x1, X2: x2,
 				Detection: cache.DetectionParity, Strikes: 2,

@@ -57,12 +57,12 @@ func VerifyClaims(o Options) ([]Claim, error) {
 
 	// C3 — fallibility rises with frequency but stays bounded at the
 	// paper's physical rate (Table I band).
-	f50, err := clumsy.Run(clumsy.Config{App: "md5", Packets: o.Packets, Seed: o.trialSeed(0),
+	f50, err := o.run(clumsy.Config{App: "md5", Packets: o.Packets, Seed: o.trialSeed(0),
 		CycleTime: 0.5, FaultScale: 1})
 	if err != nil {
 		return nil, err
 	}
-	f25, err := clumsy.Run(clumsy.Config{App: "md5", Packets: o.Packets, Seed: o.trialSeed(0),
+	f25, err := o.run(clumsy.Config{App: "md5", Packets: o.Packets, Seed: o.trialSeed(0),
 		CycleTime: 0.25, FaultScale: 1})
 	if err != nil {
 		return nil, err
@@ -73,7 +73,7 @@ func VerifyClaims(o Options) ([]Claim, error) {
 		f50.Fallibility(), f25.Fallibility())
 
 	// C4 — detection keeps runs alive at 4x over-clocking.
-	parity, err := clumsy.Run(clumsy.Config{App: "route", Packets: o.Packets, Seed: o.trialSeed(0),
+	parity, err := o.run(clumsy.Config{App: "route", Packets: o.Packets, Seed: o.trialSeed(0),
 		CycleTime: 0.25, Detection: cache.DetectionParity, Strikes: 2, FaultScale: o.FaultScale})
 	if err != nil {
 		return nil, err

@@ -23,9 +23,13 @@ type Observation struct {
 	Value uint64
 }
 
-// PacketRecord holds the observations made while processing one packet.
+// PacketRecord holds the observations made while processing one packet. A
+// record with Dropped set marks a packet the fault-containment machinery
+// discarded mid-processing: it occupies its slot in the sequence (so later
+// packets still line up with the golden run) but carries no observations.
 type PacketRecord struct {
-	Obs []Observation
+	Obs     []Observation
+	Dropped bool
 }
 
 // Recorder collects observations for a whole run: the control-plane
@@ -61,6 +65,15 @@ func (r *Recorder) EndPacket() {
 	r.current = PacketRecord{}
 }
 
+// DropPacket records the current packet as dropped by fault containment:
+// its partial observations are discarded (the packet never completed, so
+// they are not comparable) and a dropped marker keeps the sequence aligned
+// with the golden run.
+func (r *Recorder) DropPacket() {
+	r.current = PacketRecord{}
+	r.Packets = append(r.Packets, PacketRecord{Dropped: true})
+}
+
 // Reset clears everything for a fresh run.
 func (r *Recorder) Reset() { *r = Recorder{inInit: true} }
 
@@ -85,6 +98,7 @@ type StructCount struct {
 type Report struct {
 	GoldenPackets int  // packets in the golden execution
 	Processed     int  // packets the faulty execution completed
+	Dropped       int  // packets dropped (fatal errors contained) mid-trace
 	Fatal         bool // the faulty execution was cut short
 	PacketsWith   int  // packets with at least one mismatch
 	InitMismatch  bool // control-plane observations diverged
@@ -93,9 +107,18 @@ type Report struct {
 
 // Compare matches the faulty recorder against the golden one.
 func Compare(golden, faulty *Recorder) Report {
+	completed, dropped := 0, 0
+	for i := range faulty.Packets {
+		if faulty.Packets[i].Dropped {
+			dropped++
+		} else {
+			completed++
+		}
+	}
 	rep := Report{
 		GoldenPackets: len(golden.Packets),
-		Processed:     len(faulty.Packets),
+		Processed:     completed,
+		Dropped:       dropped,
 		Fatal:         len(faulty.Packets) < len(golden.Packets),
 		PerStructure:  make(map[string]StructCount),
 	}
@@ -126,7 +149,12 @@ func Compare(golden, faulty *Recorder) Report {
 	}
 	rep.InitMismatch = initBad
 
-	for p := 0; p < rep.Processed && p < rep.GoldenPackets; p++ {
+	for p := 0; p < len(faulty.Packets) && p < rep.GoldenPackets; p++ {
+		if faulty.Packets[p].Dropped {
+			// A contained fatal error: no observations to compare; the drop
+			// itself is accounted by Fallibility and DropRate.
+			continue
+		}
 		g, f := golden.Packets[p].Obs, faulty.Packets[p].Obs
 		pktBad := false
 		shapeBad := false
@@ -159,24 +187,43 @@ func Compare(golden, faulty *Recorder) Report {
 }
 
 // Fallibility returns the paper's fallibility factor: one plus the
-// fraction of successfully processed packets that carried any error
-// (Table I presents factors such as 1.055 and 1.261).
+// fraction of attempted packets that carried any error (Table I presents
+// factors such as 1.055 and 1.261). A packet dropped by fault containment
+// is maximally erroneous — it was never delivered — so it counts in both
+// numerator and denominator; with no drops (the abort policy) the formula
+// reduces to the paper's processed-packet fraction exactly.
 func (r Report) Fallibility() float64 {
-	if r.Processed == 0 {
+	attempted := r.Processed + r.Dropped
+	if attempted == 0 {
 		// Nothing completed: the run is maximally fallible.
 		return 2
 	}
-	return 1 + float64(r.PacketsWith)/float64(r.Processed)
+	return 1 + float64(r.PacketsWith+r.Dropped)/float64(attempted)
+}
+
+// DropRate returns the fraction of attempted packets that were dropped by
+// fault containment (zero under the abort policy).
+func (r Report) DropRate() float64 {
+	attempted := r.Processed + r.Dropped
+	if attempted == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(attempted)
 }
 
 // FatalProbability returns the per-packet probability of a fatal error
-// implied by this run: zero if the run completed, otherwise one over the
-// number of packets processed before the execution died.
+// implied by this run: for an aborted run, one over the number of packets
+// attempted before the execution died (the paper's estimator); for a
+// contained run that completed the trace, the observed drop rate; zero for
+// a clean run.
 func (r Report) FatalProbability() float64 {
-	if !r.Fatal {
-		return 0
+	if r.Fatal {
+		return 1 / float64(r.Processed+r.Dropped+1)
 	}
-	return 1 / float64(r.Processed+1)
+	if r.Dropped > 0 {
+		return r.DropRate()
+	}
+	return 0
 }
 
 // ErrorProbability returns the per-packet mismatch probability of one

@@ -1,0 +1,123 @@
+package simmem
+
+// Dirty-page tracking and checkpoint/restore: the state-containment
+// substrate of the drop-and-continue recovery policy. A router that "drops
+// the offending packet and keeps forwarding" (Section 2 of the paper) must
+// be able to discard whatever a half-processed packet did to its control
+// state; here that is modelled as a shadow copy of the simulated space plus
+// a page-granular dirty bitmap, committed at every packet boundary and
+// rolled back when a fatal error strikes mid-packet.
+//
+// The tracking is off by default: a Space with no checkpoint attached pays
+// one nil-check per store, so the golden run and the paper-fidelity abort
+// policy are untouched.
+
+import "math/bits"
+
+// PageShift is the log2 of the checkpoint page size (4 KiB pages).
+const PageShift = 12
+
+// PageSize is the granularity of dirty tracking and restore.
+const PageSize = 1 << PageShift
+
+// markDirty flags every page overlapped by a [a, a+width) write. It is a
+// no-op (one branch) unless a Checkpoint enabled tracking.
+func (s *Space) markDirty(a Addr, width int) {
+	if s.dirty == nil {
+		return
+	}
+	first := int(a) >> PageShift
+	last := (int(a) + width - 1) >> PageShift
+	for p := first; p <= last; p++ {
+		s.dirty[p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+// DirtyPages returns the number of pages written since tracking was last
+// reset (zero when tracking is off). Exposed for tests and telemetry.
+func (s *Space) DirtyPages() int {
+	n := 0
+	for _, w := range s.dirty {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Checkpoint is a restorable snapshot of a Space. Creating one copies the
+// whole space into a shadow buffer and turns on dirty-page tracking; from
+// then on Commit folds newly written pages into the shadow (advancing the
+// restore point to the current state) and Restore copies them back
+// (rewinding to the last commit). Exactly one checkpoint can be active per
+// space; creating a new one supersedes the old.
+type Checkpoint struct {
+	space  *Space
+	shadow []byte
+	brk    Addr
+}
+
+// NewCheckpoint snapshots the current state of the space and enables
+// dirty-page tracking against it.
+func (s *Space) NewCheckpoint() *Checkpoint {
+	c := &Checkpoint{space: s, shadow: make([]byte, len(s.data)), brk: s.brk}
+	copy(c.shadow, s.data)
+	pages := (len(s.data) + PageSize - 1) >> PageShift
+	s.dirty = make([]uint64, (pages+63)/64)
+	return c
+}
+
+// forEachDirty invokes f with the byte extent of every dirty page, clears
+// the bitmap, and returns the number of dirty pages visited.
+func (c *Checkpoint) forEachDirty(f func(start, end int)) int {
+	s := c.space
+	n := 0
+	for wi, w := range s.dirty {
+		if w == 0 {
+			continue
+		}
+		for ; w != 0; w &= w - 1 {
+			p := wi<<6 + bits.TrailingZeros64(w)
+			start := p << PageShift
+			end := start + PageSize
+			if end > len(s.data) {
+				end = len(s.data)
+			}
+			f(start, end)
+			n++
+		}
+		s.dirty[wi] = 0
+	}
+	return n
+}
+
+// Commit folds every page written since the last commit (or since the
+// checkpoint was created) into the shadow, making the current state the new
+// restore point. It returns the number of pages committed.
+func (c *Checkpoint) Commit() int {
+	n := c.forEachDirty(func(start, end int) {
+		copy(c.shadow[start:end], c.space.data[start:end])
+	})
+	c.brk = c.space.brk
+	return n
+}
+
+// Restore copies the shadow back over every page written since the last
+// commit and rewinds the allocation frontier, discarding everything the
+// aborted packet did to the simulated memory. It returns the number of
+// pages restored.
+func (c *Checkpoint) Restore() int {
+	n := c.forEachDirty(func(start, end int) {
+		copy(c.space.data[start:end], c.shadow[start:end])
+	})
+	c.space.brk = c.brk
+	return n
+}
+
+// Release turns dirty tracking off, returning the space to its zero-cost
+// store path. The checkpoint must not be used afterwards.
+func (c *Checkpoint) Release() {
+	if c.space.dirty != nil {
+		c.space.dirty = nil
+	}
+}

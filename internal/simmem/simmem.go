@@ -50,9 +50,12 @@ type Memory interface {
 }
 
 // Space is the backing store: a flat byte array with a bump allocator.
+// When a Checkpoint is active, every store additionally marks the written
+// page in the dirty bitmap (see checkpoint.go); dirty is nil otherwise.
 type Space struct {
-	data []byte
-	brk  Addr
+	data  []byte
+	brk   Addr
+	dirty []uint64
 }
 
 // NewSpace creates a space of the given size in bytes. The size must cover
@@ -132,6 +135,7 @@ func (s *Space) Store8(a Addr, v uint8) error {
 	if err := s.check("store8", a, 1); err != nil {
 		return err
 	}
+	s.markDirty(a, 1)
 	s.data[a] = v
 	return nil
 }
@@ -151,6 +155,7 @@ func (s *Space) Store16(a Addr, v uint16) error {
 	if err := s.check("store16", a, 2); err != nil {
 		return err
 	}
+	s.markDirty(a, 2)
 	binary.LittleEndian.PutUint16(s.data[a:], v)
 	return nil
 }
@@ -170,6 +175,7 @@ func (s *Space) Store32(a Addr, v uint32) error {
 	if err := s.check("store32", a, 4); err != nil {
 		return err
 	}
+	s.markDirty(a, 4)
 	binary.LittleEndian.PutUint32(s.data[a:], v)
 	return nil
 }
@@ -195,6 +201,9 @@ func (s *Space) WriteBlock(a Addr, buf []byte) error {
 	}
 	if uint64(a)+uint64(len(buf)) > uint64(len(s.data)) {
 		return &AccessError{Op: "writeblock", Addr: a, Reason: "block beyond end of space"}
+	}
+	if len(buf) > 0 {
+		s.markDirty(a, len(buf))
 	}
 	copy(s.data[a:], buf)
 	return nil

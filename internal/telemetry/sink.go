@@ -157,13 +157,16 @@ func (rt *RunTrace) RunStart(app string, packets int, seed uint64, cr float64, d
 	rt.end(b)
 }
 
-// RunEnd records the outcome of a run.
-func (rt *RunTrace) RunEnd(processed int, instrs uint64, fatal bool) {
+// RunEnd records the outcome of a run: completed packets, packets dropped
+// by fault containment (or the single fatal packet of an aborted run),
+// instructions, and whether the run ended fatally.
+func (rt *RunTrace) RunEnd(processed, dropped int, instrs uint64, fatal bool) {
 	if rt == nil {
 		return
 	}
 	b := rt.begin("run_end")
 	b = appendInt(b, "processed", int64(processed))
+	b = appendInt(b, "dropped", int64(dropped))
 	b = appendUint(b, "instrs", instrs)
 	b = appendBool(b, "fatal", fatal)
 	rt.end(b)
@@ -211,14 +214,30 @@ func (rt *RunTrace) FreqTransition(packet int, decision string, cr float64) {
 	rt.end(b)
 }
 
-// PacketDrop records the packet on which a run died (watchdog trip, memory
-// trap, or traversal loop); the remaining packets of the trace are lost.
+// PacketDrop records one packet killed by a fatal error (watchdog trip,
+// memory trap, traversal loop, or contained panic). Under the abort policy
+// it is the packet on which the run died and the rest of the trace is
+// lost; under drop-and-continue each contained fault emits one.
 func (rt *RunTrace) PacketDrop(packet int, reason string) {
 	if rt == nil {
 		return
 	}
 	b := rt.begin("packet_drop")
 	b = appendInt(b, "packet", int64(packet))
+	b = appendStr(b, "reason", reason)
+	rt.end(b)
+}
+
+// StateRestore records one fault-containment recovery: after dropping the
+// given packet, the control-plane state was rolled back to the last packet
+// boundary by restoring `pages` dirty pages of simulated memory.
+func (rt *RunTrace) StateRestore(packet, pages int, reason string) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin("state_restore")
+	b = appendInt(b, "packet", int64(packet))
+	b = appendInt(b, "pages", int64(pages))
 	b = appendStr(b, "reason", reason)
 	rt.end(b)
 }

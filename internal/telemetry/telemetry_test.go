@@ -115,15 +115,16 @@ func TestRunTraceEvents(t *testing.T) {
 	rt.Recovery("retry", 1, 0xdead)
 	rt.FreqTransition(100, "speed up", 0.25)
 	rt.PacketDrop(57, `watchdog "quoted"`)
-	rt.RunEnd(100, 12345, false)
+	rt.StateRestore(57, 3, "watchdog")
+	rt.RunEnd(100, 1, 12345, false)
 	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if sink.Records() != 6 {
-		t.Fatalf("records = %d, want 6", sink.Records())
+	if sink.Records() != 7 {
+		t.Fatalf("records = %d, want 7", sink.Records())
 	}
 
-	types := []string{"run_start", "fault_injection", "recovery", "freq_transition", "packet_drop", "run_end"}
+	types := []string{"run_start", "fault_injection", "recovery", "freq_transition", "packet_drop", "state_restore", "run_end"}
 	sc := bufio.NewScanner(&buf)
 	for i := 0; sc.Scan(); i++ {
 		var ev map[string]any
@@ -157,7 +158,8 @@ func TestDisabledRunTraceIsNil(t *testing.T) {
 	rt.Recovery("retry", 1, 0)
 	rt.FreqTransition(0, "keep", 1)
 	rt.PacketDrop(0, "watchdog")
-	rt.RunEnd(0, 0, false)
+	rt.StateRestore(0, 0, "watchdog")
+	rt.RunEnd(0, 0, 0, false)
 	rt.SetClock(nil)
 
 	var tnil *Telemetry
@@ -192,7 +194,7 @@ func TestConcurrentCountersAndSink(t *testing.T) {
 				h.Observe(uint64(i))
 				rt.FaultInjection("read", 1, uint64(i))
 			}
-			rt.RunEnd(perWorker, 0, false)
+			rt.RunEnd(perWorker, 0, 0, false)
 		}()
 	}
 	wg.Wait()
