@@ -1,0 +1,33 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test lint fmt vet clumsylint race
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint is the full static-analysis gate: standard vet, formatting drift,
+# and the project's own invariant analyzers (see internal/lint).
+lint: vet fmt clumsylint
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l . 2>/dev/null)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+clumsylint:
+	$(GO) run ./cmd/clumsylint ./...

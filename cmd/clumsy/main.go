@@ -21,6 +21,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"text/tabwriter"
 	"time"
 
 	"clumsy/internal/apps"
@@ -56,6 +58,7 @@ type cliOpts struct {
 	maxDropRate float64
 	watchdog    float64
 	format      string
+	describe    bool
 	out         string
 	tracePath   string
 	tel         *telemetry.Telemetry
@@ -107,6 +110,7 @@ func run(args []string, w io.Writer) (err error) {
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	progress := fs.Bool("progress", false, "report experiment-grid progress on stderr")
+	describe := fs.Bool("describe", false, "stats: print the telemetry name registry instead of running a simulation")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -132,6 +136,7 @@ func run(args []string, w io.Writer) (err error) {
 		maxDropRate: *maxDropRate,
 		watchdog:    *watchdog,
 		format:      *format,
+		describe:    *describe,
 		out:         *out,
 		tracePath:   *tracePath,
 	}
@@ -162,12 +167,14 @@ func run(args []string, w io.Writer) (err error) {
 			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			f.Close() //lint:errcheck-ok — already returning the profile-start error
 			return err
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "clumsy: closing cpu profile: %v\n", err)
+			}
 		}()
 	}
 	if *memprofile != "" {
@@ -372,6 +379,9 @@ func execute(cmd string, o cliOpts, w io.Writer) error {
 		}
 		return report(w, res)
 	case "stats":
+		if o.describe {
+			return describeNames(w)
+		}
 		// Execute one run exactly like `run` (same defaults and seeding,
 		// so its counts match a trace captured by `run -trace-out` with
 		// the same flags), then dump the counter registry.
@@ -387,6 +397,25 @@ func execute(cmd string, o cliOpts, w io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}
 	return nil
+}
+
+// describeNames prints the telemetry name registry — the same table the
+// telemnames analyzer enforces — so dashboards and scripts can discover
+// every instrument and event the simulator can emit.
+func describeNames(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	kind := telemetry.Kind(-1)
+	for _, spec := range telemetry.Names() {
+		if spec.Kind != kind {
+			if kind != telemetry.Kind(-1) {
+				fmt.Fprintln(tw)
+			}
+			kind = spec.Kind
+			fmt.Fprintf(tw, "%sS\n", strings.ToUpper(kind.String()))
+		}
+		fmt.Fprintf(tw, "  %s\t%s\n", spec.Name, spec.Help)
+	}
+	return tw.Flush()
 }
 
 func detectionOf(parity bool) cache.Detection {
@@ -476,7 +505,7 @@ func runOne(cfg clumsy.Config, tracePath string) (*clumsy.Result, error) {
 		return nil, err
 	}
 	tr, terr := packet.ReadTrace(f)
-	f.Close()
+	f.Close() //lint:errcheck-ok — read-only file, nothing to flush
 	if terr != nil {
 		return nil, terr
 	}
@@ -603,7 +632,8 @@ experiments:
   run     one simulation (-app -cr -dynamic -parity -strikes -scale
           -recovery abort|drop -max-drop-rate X -watchdog X [-trace f])
   stats   one simulation like run, then dump the telemetry counter registry
-          (-format text = Prometheus exposition, -format json = JSON)
+          (-format text = Prometheus exposition, -format json = JSON;
+          -describe prints the registered instrument/event name table)
   trace   dump an application's workload (-app -packets -seed [-out file])
   list    this text
 

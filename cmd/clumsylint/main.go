@@ -1,0 +1,93 @@
+// Command clumsylint is the project's determinism/accounting/telemetry
+// invariant checker: a multichecker over the five analyzers in
+// internal/lint. It exits non-zero when any invariant is violated and is a
+// required CI job alongside go vet and staticcheck.
+//
+// Usage:
+//
+//	go run ./cmd/clumsylint [-list] [packages]
+//
+// With no package patterns it checks ./... . Each analyzer documents an
+// in-source escape-hatch directive for deliberate exceptions; see
+// DESIGN.md ("Static analysis") for the invariant catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"clumsy/internal/lint/analysis"
+	"clumsy/internal/lint/cycleacct"
+	"clumsy/internal/lint/detwalk"
+	"clumsy/internal/lint/errchecksim"
+	"clumsy/internal/lint/floatcmp"
+	"clumsy/internal/lint/load"
+	"clumsy/internal/lint/telemnames"
+)
+
+// analyzers is the full clumsylint suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	detwalk.Analyzer,
+	cycleacct.Analyzer,
+	telemnames.Analyzer,
+	errchecksim.Analyzer,
+	floatcmp.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: clumsylint [-list] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	n, err := check(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clumsylint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "clumsylint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// check loads the packages and applies every analyzer, printing findings
+// in position order. It returns the number of findings.
+func check(patterns []string) (int, error) {
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return total, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+			}
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}

@@ -1,3 +1,8 @@
 module clumsy
 
-go 1.22
+// The lint suite in internal/lint deliberately depends only on the standard
+// library (go/ast, go/types, go/importer): the build environment is
+// air-gapped, so golang.org/x/tools cannot be fetched. internal/lint/analysis
+// mirrors the x/tools go/analysis API surface so the analyzers would port
+// with import-path changes only.
+go 1.24.0

@@ -126,7 +126,7 @@ func Names() []string {
 // (extension workloads such as the media codec), sorted.
 func Extras() []string {
 	var out []string
-	for n := range registry {
+	for n := range registry { //lint:det-ok — iteration order irrelevant: result is sorted before return
 		paper := false
 		for _, p := range paperApps {
 			if p == n {

@@ -18,6 +18,12 @@ type L1Instr struct {
 	Cycles float64
 }
 
+// chargeStall accounts fetch stall cycles reported by the next level — the
+// only permitted write to the L1I cycle accumulator (cycleacct invariant).
+//
+//lint:cycle-accounting
+func (c *L1Instr) chargeStall(cyc float64) { c.Cycles += cyc }
+
 // NewL1Instr builds the instruction cache over next.
 func NewL1Instr(cfg Config, next Backend) (*L1Instr, error) {
 	tab, err := newTable(cfg)
@@ -42,7 +48,7 @@ func (c *L1Instr) Fetch(pc simmem.Addr) error {
 	if err != nil {
 		return err
 	}
-	c.Cycles += cyc
+	c.chargeStall(cyc)
 	_, tag := c.tab.index(pc)
 	victim.valid = true
 	victim.tag = tag

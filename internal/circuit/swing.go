@@ -39,7 +39,7 @@ func CycleTimeForSwing(vsr float64) float64 {
 	if vsr <= 0 || vsr > 1 {
 		panic("circuit: relative voltage swing out of (0, 1]")
 	}
-	if vsr == 1 {
+	if vsr == 1 { //lint:floatcmp-ok — exact domain endpoint: 1.0 is representable and means full swing
 		return 1
 	}
 	return -math.Log(1-vsr*(1-math.Exp(-SwingK))) / SwingK

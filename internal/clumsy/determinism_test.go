@@ -1,0 +1,103 @@
+package clumsy
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"clumsy/internal/cache"
+)
+
+// resultBytes serializes everything a run reports — the metrics.Report plus
+// every measured field of the Result — so two runs can be compared
+// byte-for-byte. Maps inside the Report (per-structure error counts)
+// marshal with sorted keys, so identical contents yield identical bytes.
+func resultBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	fatal := ""
+	if r.FatalErr != nil {
+		fatal = r.FatalErr.Error()
+	}
+	b, err := json.Marshal(struct {
+		Report        any
+		GoldenCycles  float64
+		GoldenInstrs  uint64
+		GoldenDelay   float64
+		GoldenEnergy  any
+		Cycles        float64
+		Instrs        uint64
+		Delay         float64
+		Energy        any
+		L1DStats      any
+		Recovery      any
+		Fatal         string
+		SetupDied     bool
+		Contained     int
+		RestoredPages uint64
+		LevelPackets  []uint64
+		Switches      int
+		Timeline      []FreqEvent
+	}{
+		Report:        r.Report,
+		GoldenCycles:  r.GoldenCycles,
+		GoldenInstrs:  r.GoldenInstrs,
+		GoldenDelay:   r.GoldenDelay,
+		GoldenEnergy:  r.GoldenEnergy,
+		Cycles:        r.Cycles,
+		Instrs:        r.Instrs,
+		Delay:         r.Delay,
+		Energy:        r.Energy,
+		L1DStats:      r.L1DStats,
+		Recovery:      r.Recovery,
+		Fatal:         fatal,
+		SetupDied:     r.SetupDied,
+		Contained:     r.Contained,
+		RestoredPages: r.RestoredPages,
+		LevelPackets:  r.LevelPackets,
+		Switches:      r.Switches,
+		Timeline:      r.Timeline,
+	})
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+// TestRunDeterminism is the bit-determinism contract the detwalk analyzer
+// exists to protect: a seeded configuration is a pure function — running it
+// twice yields byte-identical results, under both recovery policies, with
+// and without the dynamic frequency controller. If this test starts
+// failing, some nondeterminism (map iteration, wall clock, goroutine
+// scheduling) has leaked into the sim core; `go run ./cmd/clumsylint ./...`
+// is the first place to look.
+func TestRunDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"abort", Config{App: "route", Packets: 200, Seed: 7, FaultScale: 2e3,
+			CycleTime: 0.25, Recovery: RecoverAbort}},
+		{"drop", Config{App: "nat", Packets: 150, Seed: 9, FaultScale: 2e3,
+			CycleTime: 0.25, Recovery: RecoverDrop}},
+		{"drop-parity", Config{App: "drr", Packets: 150, Seed: 3, FaultScale: 5e3,
+			CycleTime: 0.25, Detection: cache.DetectionParity, Strikes: 2, Recovery: RecoverDrop}},
+		{"dynamic", Config{App: "crc", Packets: 300, Seed: 11, FaultScale: 1e3,
+			Dynamic: true, Recovery: RecoverAbort}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, err := Run(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ab, bb := resultBytes(t, a), resultBytes(t, b)
+			if !bytes.Equal(ab, bb) {
+				t.Errorf("identical seeded configs diverge:\nfirst:  %s\nsecond: %s", ab, bb)
+			}
+		})
+	}
+}

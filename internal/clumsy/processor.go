@@ -474,8 +474,8 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 	var histInstrs, histCycles *telemetry.Histogram
 	prevCycles := 0.0
 	if tel != nil {
-		histInstrs = tel.Registry.Histogram("packet.instructions")
-		histCycles = tel.Registry.Histogram("packet.cycles")
+		histInstrs = tel.Registry.Histogram(telemetry.HistPacketInstructions)
+		histCycles = tel.Registry.Histogram(telemetry.HistPacketCycles)
 		prevCycles = eng.totalCycles()
 	}
 	for i := range trace.Packets {
@@ -495,9 +495,7 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			// reported figures are based on the packets processed until
 			// the fatal error, over the cycles actually burned).
 			if budget > 0 {
-				if spent := eng.packetInstrs(); spent < budget {
-					eng.core += float64(budget - spent)
-				}
+				eng.burnWatchdog(budget)
 			}
 			out.drops++
 			if errors.Is(err, ErrWatchdog) {
@@ -592,6 +590,8 @@ func processPacket(app apps.App, ctx *apps.Context, p *packet.Packet, buf simmem
 }
 
 // finish folds the accumulated statistics into the result.
+//
+//lint:cycle-accounting
 func finish(out *onceResult, eng *engine, h *cache.Hierarchy, cfg Config, ctrl *freqctl.Controller, setupCycles float64, processed int) {
 	out.cycles = eng.totalCycles()
 	if ctrl != nil {

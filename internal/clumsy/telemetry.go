@@ -27,9 +27,9 @@ func DefaultTelemetry() *telemetry.Telemetry { return defaultTelemetry.Load() }
 // wireFreqTelemetry hooks the controller's epoch decisions into the
 // counter registry.
 func wireFreqTelemetry(ctrl *freqctl.Controller, reg *telemetry.Registry) {
-	epochs := reg.Counter("freq.epochs")
-	up := reg.Counter("freq.up_transitions")
-	down := reg.Counter("freq.down_transitions")
+	epochs := reg.Counter(telemetry.CtrFreqEpochs)
+	up := reg.Counter(telemetry.CtrFreqUpTransitions)
+	down := reg.Counter(telemetry.CtrFreqDownTransitions)
 	ctrl.OnDecision = func(d freqctl.Decision, changed bool, _ float64) {
 		epochs.Inc()
 		if !changed {
@@ -52,58 +52,69 @@ func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *once
 		return
 	}
 	reg := tel.Registry
-	reg.Counter("run.count").Inc()
+	reg.Counter(telemetry.CtrRunCount).Inc()
 	if out.fatal != nil {
-		reg.Counter("run.fatal").Inc()
+		reg.Counter(telemetry.CtrRunFatal).Inc()
 	}
 	// Drops are counted from the actual per-packet drop events, not
 	// inferred as trace-length minus processed: under drop-and-continue a
 	// run completes the trace yet still dropped packets, and under abort
 	// the packets after the fatal one were never attempted, only lost.
 	if out.drops > 0 {
-		reg.Counter("run.packets_dropped").Add(uint64(out.drops))
+		reg.Counter(telemetry.CtrRunPacketsDropped).Add(uint64(out.drops))
 	}
 	if out.watchdogKills > 0 {
-		reg.Counter("watchdog.kills").Add(uint64(out.watchdogKills))
+		reg.Counter(telemetry.CtrWatchdogKills).Add(uint64(out.watchdogKills))
 	}
 	if out.contained > 0 {
-		reg.Counter("recovery.contained").Add(uint64(out.contained))
-		reg.Counter("recovery.restored_pages").Add(out.restoredPages)
+		reg.Counter(telemetry.CtrRecoveryContained).Add(uint64(out.contained))
+		reg.Counter(telemetry.CtrRecoveryRestoredPages).Add(out.restoredPages)
 	}
-	reg.Counter("run.packets_processed").Add(uint64(processed))
-	reg.Counter("run.instructions").Add(eng.instrs)
-	reg.Counter("run.cycles").Add(uint64(out.cycles))
+	reg.Counter(telemetry.CtrRunPacketsProcessed).Add(uint64(processed))
+	reg.Counter(telemetry.CtrRunInstructions).Add(eng.instrs)
+	reg.Counter(telemetry.CtrRunCycles).Add(uint64(out.cycles))
 
-	addCacheStats(reg, "cache.l1d", h.L1D.Stats)
-	addCacheStats(reg, "cache.l1i", h.L1I.Stats)
-	addCacheStats(reg, "cache.l2", h.L2.Stats)
-	addCacheStats(reg, "cache.mem", h.Mem.Stats)
+	addCacheStats(reg, "l1d", h.L1D.Stats)
+	addCacheStats(reg, "l1i", h.L1I.Stats)
+	addCacheStats(reg, "l2", h.L2.Stats)
+	addCacheStats(reg, "mem", h.Mem.Stats)
 
 	rec := h.L1D.Recovery
-	reg.Counter("fault.read_injected").Add(rec.FaultsOnRead)
-	reg.Counter("fault.write_injected").Add(rec.FaultsOnWrite)
-	reg.Counter("recovery.detected").Add(rec.ParityErrors)
-	reg.Counter("recovery.retries").Add(rec.Retries)
-	reg.Counter("recovery.recoveries").Add(rec.Recoveries)
-	reg.Counter("recovery.ecc_corrected").Add(rec.Corrected)
-	reg.Counter("recovery.ecc_miscorrected").Add(rec.Miscorrected)
+	reg.Counter(telemetry.CtrFaultReadInjected).Add(rec.FaultsOnRead)
+	reg.Counter(telemetry.CtrFaultWriteInjected).Add(rec.FaultsOnWrite)
+	reg.Counter(telemetry.CtrRecoveryDetected).Add(rec.ParityErrors)
+	reg.Counter(telemetry.CtrRecoveryRetries).Add(rec.Retries)
+	reg.Counter(telemetry.CtrRecoveryRecoveries).Add(rec.Recoveries)
+	reg.Counter(telemetry.CtrRecoveryECCCorrected).Add(rec.Corrected)
+	reg.Counter(telemetry.CtrRecoveryECCMiscorrected).Add(rec.Miscorrected)
 
 	if ctrl != nil {
-		reg.Counter("freq.switches").Add(uint64(ctrl.Switches))
-		reg.Counter("freq.penalty_cycles").Add(uint64(ctrl.PenaltyCycles))
+		reg.Counter(telemetry.CtrFreqSwitches).Add(uint64(ctrl.Switches))
+		reg.Counter(telemetry.CtrFreqPenaltyCycles).Add(uint64(ctrl.PenaltyCycles))
 	}
 	rt.RunEnd(processed, out.drops, eng.instrs, out.fatal != nil)
 }
 
-// addCacheStats folds one cache level's statistics into prefixed counters.
-// Hits per level are derivable as reads-read_misses / writes-write_misses.
-func addCacheStats(reg *telemetry.Registry, prefix string, s cache.Stats) {
-	reg.Counter(prefix + ".reads").Add(s.Reads)
-	reg.Counter(prefix + ".writes").Add(s.Writes)
-	reg.Counter(prefix + ".read_misses").Add(s.ReadMisses)
-	reg.Counter(prefix + ".write_misses").Add(s.WriteMisses)
-	reg.Counter(prefix + ".writebacks").Add(s.Writebacks)
-	reg.Counter(prefix + ".invalidations").Add(s.Invalidations)
+// addCacheStats folds one cache level's statistics into the registered
+// per-level counter family. Hits per level are derivable as
+// reads-read_misses / writes-write_misses. The names are built through
+// telemetry.CacheCounterName — the one deliberate dynamic family, carrying
+// the telemname-dynamic escape below; the expanded names are all listed in
+// the registry table.
+func addCacheStats(reg *telemetry.Registry, level string, s cache.Stats) {
+	for _, ev := range []struct {
+		suffix string
+		v      uint64
+	}{
+		{"reads", s.Reads},
+		{"writes", s.Writes},
+		{"read_misses", s.ReadMisses},
+		{"write_misses", s.WriteMisses},
+		{"writebacks", s.Writebacks},
+		{"invalidations", s.Invalidations},
+	} {
+		reg.Counter(telemetry.CacheCounterName(level, ev.suffix)).Add(ev.v) //lint:telemname-dynamic
+	}
 }
 
 // dropReason classifies the fatal error that killed a run for the

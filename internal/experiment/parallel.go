@@ -51,9 +51,9 @@ func parallelFor(n int, fn func(i int) error) error {
 	if mon != nil {
 		inner := runItem
 		runItem = func(i int) error {
-			start := time.Now()
+			start := time.Now() //lint:wallclock-ok — wall-clock run timing for the progress monitor
 			err := inner(i)
-			mon.RunDone(time.Since(start))
+			mon.RunDone(time.Since(start)) //lint:wallclock-ok — reporting only, never feeds simulated state
 			return err
 		}
 	}

@@ -1,0 +1,156 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// over one type-checked package, a Pass is one invocation of it, and a
+// Diagnostic is one finding. The API mirrors x/tools so the project's
+// analyzers port over verbatim if the real dependency ever becomes
+// available; it exists because the build environment is offline and the
+// module must not grow external dependencies.
+//
+// Beyond the x/tools surface, the package carries the project's directive
+// machinery: `//lint:<name>` comments that mark deliberate exceptions to an
+// invariant (for example `//lint:wallclock-ok` on the two legitimate
+// wall-clock sites). Directives apply to the line they sit on and to the
+// line immediately below, so both trailing and preceding comment placement
+// work.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is the one-paragraph description shown by `clumsylint -help`.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each finding.
+	Report func(Diagnostic)
+
+	directives map[*ast.File]map[int][]string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// directivePrefix introduces an in-source exception marker.
+const directivePrefix = "//lint:"
+
+// fileDirectives indexes a file's `//lint:` comments by line.
+func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
+	idx := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			name := strings.TrimPrefix(text, directivePrefix)
+			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				name = name[:i]
+			}
+			line := fset.Position(c.Pos()).Line
+			idx[line] = append(idx[line], name)
+		}
+	}
+	return idx
+}
+
+// DirectiveAt reports whether a `//lint:name` directive covers pos: the
+// directive sits on the same line (trailing comment) or on the line above
+// (preceding comment).
+func (p *Pass) DirectiveAt(pos token.Pos, name string) bool {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int][]string)
+	}
+	var file *ast.File
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return false
+	}
+	idx, ok := p.directives[file]
+	if !ok {
+		idx = fileDirectives(p.Fset, file)
+		p.directives[file] = idx
+	}
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range idx[l] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether the function declaration carries the
+// directive in its doc comment.
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directivePrefix+name {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectivePath maps a package import path onto the path the invariants
+// are phrased in. For regular packages it is the import path itself; for
+// analyzer test fixtures under .../testdata/src/ it is the part after
+// src/, so a fixture directory layout mirrors the real tree and
+// path-scoped analyzers behave identically on it.
+func EffectivePath(pkgPath string) string {
+	const marker = "/testdata/src/"
+	if i := strings.LastIndex(pkgPath, marker); i >= 0 {
+		return pkgPath[i+len(marker):]
+	}
+	return pkgPath
+}
+
+// PathWithin reports whether the effective package path is one of the
+// given package directories or below one (e.g. "clumsy/internal/cache"
+// is within "internal/cache").
+func PathWithin(pkgPath string, dirs ...string) bool {
+	eff := EffectivePath(pkgPath)
+	for _, d := range dirs {
+		if eff == d || strings.HasPrefix(eff, d+"/") ||
+			strings.HasSuffix(eff, "/"+d) || strings.Contains(eff, "/"+d+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+// Package analysistest runs an analyzer over golden test fixtures and
+// checks its diagnostics against `// want` comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract: a fixture line that
+// must trigger carries a trailing comment
+//
+//	time.Now() // want `wall clock`
+//
+// where the quoted text is a regular expression the diagnostic message must
+// match (double quotes work too). Multiple expectations may follow one
+// want. Lines without a want comment must stay silent; both missed and
+// surplus diagnostics fail the test.
+//
+// Fixtures live under testdata/src/ and are addressed by the directory
+// path below src/, which becomes the fixture's effective package path —
+// so a fixture at testdata/src/clumsy/internal/cache exercises the
+// analyzer exactly as the real internal/cache package would.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clumsy/internal/lint/analysis"
+	"clumsy/internal/lint/load"
+)
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, comparing diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, fx := range fixtures {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("testdata", "src", fx))
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("loaded %d packages for %d fixtures", len(pkgs), len(fixtures))
+	}
+	for _, pkg := range pkgs {
+		runPackage(t, a, pkg)
+	}
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	expects, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg.PkgPath, a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation that covers the diagnostic.
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants collects the `// want` expectations of every fixture file.
+func parseWants(pkg *load.Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				trimmed := strings.TrimSpace(text)
+				if !strings.HasPrefix(trimmed, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(strings.TrimPrefix(trimmed, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return expects, nil
+}
+
+// parsePatterns splits `"re" "re" ...` (or backquoted) into regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		var raw, rest string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			raw, rest = s[1:1+end], s[2+end:]
+		case '"':
+			// Find the closing quote and let strconv handle escapes.
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			raw, rest = unq, s[end+1:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp in %q", s)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+		s = rest
+	}
+	return res, nil
+}

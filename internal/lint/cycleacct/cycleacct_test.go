@@ -1,0 +1,16 @@
+package cycleacct_test
+
+import (
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/cycleacct"
+)
+
+func TestCycleAcct(t *testing.T) {
+	analysistest.Run(t, cycleacct.Analyzer,
+		"clumsy/internal/clumsy",
+		"clumsy/internal/cache",
+		"clumsy/internal/metrics",
+	)
+}

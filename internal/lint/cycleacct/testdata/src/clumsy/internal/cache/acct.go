@@ -1,0 +1,30 @@
+// Fixture: the cache layer's stall-cycle accumulator.
+package cache
+
+type L1Data struct {
+	Cycles float64
+}
+
+//lint:cycle-accounting
+func (c *L1Data) chargeStall(cyc float64) { c.Cycles += cyc }
+
+func fill(c *L1Data, cyc float64) {
+	c.Cycles += cyc // want `direct write to cycle/energy counter field Cycles`
+	c.chargeStall(cyc)
+}
+
+type EnergyWeights struct {
+	ReadSwing  float64
+	WriteSwing float64
+}
+
+func tune(w *EnergyWeights) {
+	w.ReadSwing = 0.5  // want `direct write to cycle/energy counter field ReadSwing`
+	w.WriteSwing = 0.5 // want `direct write to cycle/energy counter field WriteSwing`
+}
+
+//lint:cycle-accounting
+func setWeights(w *EnergyWeights, r, wr float64) {
+	w.ReadSwing = r
+	w.WriteSwing = wr
+}

@@ -1,0 +1,11 @@
+// Fixture: a package outside the accounting scope. Even a type named like
+// an accumulator is writable here.
+package metrics
+
+type engine struct {
+	core float64
+}
+
+func free(e *engine) {
+	e.core++ // out of scope: no diagnostic
+}

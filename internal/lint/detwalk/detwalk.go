@@ -1,0 +1,103 @@
+// Package detwalk enforces the simulator's bit-determinism invariant: the
+// paper's tables and figures are reproducible only because a seeded run is
+// a pure function of its configuration. Three classes of hidden
+// nondeterminism are rejected inside the deterministic sim core
+// (internal/{clumsy,cache,simmem,fault,apps,freqctl,metrics,packet,radix}):
+//
+//   - iteration over a Go map (`for range m`), whose order varies per
+//     process — a hot-path map walk silently changes access interleaving;
+//   - goroutine spawns, which make cycle accounting racy;
+//   - wall-clock reads (time.Now, time.Since, time.Until) and math/rand,
+//     which must never feed simulated state; fault injection draws from the
+//     seeded xorshift RNG in internal/fault instead.
+//
+// The wall-clock/math-rand check additionally covers every other internal
+// package, because a time.Now that creeps into experiment orchestration or
+// telemetry can leak into results just as silently. The two legitimate
+// wall-clock consumers (the progress monitor and the parallel-runner
+// timing) carry a `//lint:wallclock-ok` directive; map iteration or
+// goroutine exceptions in the core would use `//lint:det-ok`.
+package detwalk
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"clumsy/internal/lint/analysis"
+)
+
+// CorePackages are the deterministic sim-core package directories.
+var CorePackages = []string{
+	"internal/clumsy",
+	"internal/cache",
+	"internal/simmem",
+	"internal/fault",
+	"internal/apps",
+	"internal/freqctl",
+	"internal/metrics",
+	"internal/packet",
+	"internal/radix",
+}
+
+// Analyzer is the detwalk check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detwalk",
+	Doc: "flag nondeterminism in the sim core: map iteration, goroutine spawns, " +
+		"wall-clock reads, and math/rand (escape hatches: //lint:wallclock-ok, //lint:det-ok)",
+	Run: run,
+}
+
+// wallClockFuncs are the package time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	core := analysis.PathWithin(pass.Pkg.Path(), CorePackages...)
+	internal := analysis.PathWithin(pass.Pkg.Path(), "internal")
+	if !core && !internal {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !pass.DirectiveAt(imp.Pos(), "wallclock-ok") {
+					pass.Reportf(imp.Pos(), "import of %s in deterministic code: use the seeded RNG in internal/fault", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if !core || n.X == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !pass.DirectiveAt(n.Pos(), "det-ok") {
+					pass.Reportf(n.Pos(), "range over map in the deterministic sim core: iteration order is nondeterministic")
+				}
+			case *ast.GoStmt:
+				if core && !pass.DirectiveAt(n.Pos(), "det-ok") {
+					pass.Reportf(n.Pos(), "goroutine spawn in the deterministic sim core: cycle accounting must stay single-threaded")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !wallClockFuncs[obj.Name()] {
+					return true
+				}
+				if !pass.DirectiveAt(n.Pos(), "wallclock-ok") {
+					pass.Reportf(n.Pos(), "wall clock read (time.%s) in deterministic code: simulated time must come from the cycle model", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package detwalk_test
+
+import (
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/detwalk"
+)
+
+func TestDetwalk(t *testing.T) {
+	analysistest.Run(t, detwalk.Analyzer,
+		"clumsy/internal/clumsy",
+		"clumsy/internal/telemetry",
+	)
+}

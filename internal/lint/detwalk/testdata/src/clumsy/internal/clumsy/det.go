@@ -1,0 +1,59 @@
+// Fixture: the deterministic sim core. Every class of hidden
+// nondeterminism must be flagged here, and every escape hatch must
+// silence it.
+package clumsy
+
+import (
+	"math/rand" // want `import of math/rand in deterministic code`
+	"time"
+)
+
+var _ = rand.Int
+
+func mapWalk(m map[int]int) int {
+	s := 0
+	for k := range m { // want `range over map in the deterministic sim core`
+		s += k
+	}
+	return s
+}
+
+func mapWalkSorted(m map[int]int) int {
+	s := 0
+	//lint:det-ok — order-insensitive sum
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func sliceWalk(xs []int) int {
+	s := 0
+	for _, x := range xs { // slices are ordered: no diagnostic
+		s += x
+	}
+	return s
+}
+
+func spawn(done chan struct{}) {
+	go func() { close(done) }() // want `goroutine spawn in the deterministic sim core`
+}
+
+func spawnJustified(done chan struct{}) {
+	//lint:det-ok — joined before any cycle accounting
+	go func() { close(done) }()
+}
+
+func clock() time.Duration {
+	start := time.Now()      // want `wall clock read \(time\.Now\) in deterministic code`
+	return time.Since(start) // want `wall clock read \(time\.Since\) in deterministic code`
+}
+
+func clockJustified() time.Time {
+	return time.Now() //lint:wallclock-ok — fixture: reporting only
+}
+
+func notWallClock(d time.Duration) time.Time {
+	// Unix is not a wall-clock read; no diagnostic.
+	return time.Unix(0, int64(d))
+}

@@ -1,0 +1,17 @@
+// Fixture: an internal package outside the sim core. Wall-clock reads and
+// math/rand are still rejected, but map iteration and goroutines are the
+// package's own business.
+package telemetry
+
+import "time"
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall clock read \(time\.Since\) in deterministic code`
+}
+
+func fanOut(m map[string]int, out chan int) {
+	for _, v := range m { // non-core package: no diagnostic
+		out <- v
+	}
+	go func() { close(out) }() // non-core package: no diagnostic
+}

@@ -1,0 +1,150 @@
+// Package errchecksim flags call statements that silently discard an error
+// result anywhere in internal/ and cmd/. The fault-injection paths make
+// swallowed errors genuinely dangerous here: a dropped error from the
+// simulated memory or cache layer can turn a detectable fault into silent
+// result corruption, which is the exact failure mode the paper's detection
+// machinery exists to measure.
+//
+// The check is deliberately narrower than a general-purpose errcheck:
+//   - only expression statements are flagged (an explicit `_ =` assignment
+//     is visible in review and stays allowed);
+//   - the fmt print family and the sticky-error or infallible writers
+//     (*bufio.Writer, *bytes.Buffer, *strings.Builder) are exempt;
+//   - a deliberate drop carries `//lint:errcheck-ok` with a reason.
+package errchecksim
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clumsy/internal/lint/analysis"
+)
+
+// Analyzer is the errcheck-sim check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errchecksim",
+	Doc: "flag statements that drop an error return in internal/ and cmd/ " +
+		"(escape: //lint:errcheck-ok)",
+	Run: run,
+}
+
+// exemptFuncs are package-level functions whose error never needs checking
+// (stdout/stderr printing; an error there has no recovery path the CLI
+// would take).
+var exemptFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+}
+
+// exemptRecvs are receiver types whose methods either cannot fail or latch
+// the error for a later Flush/Close check.
+var exemptRecvs = map[string]bool{
+	"bufio.Writer":     true,
+	"bytes.Buffer":     true,
+	"strings.Builder":  true,
+	"tabwriter.Writer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathWithin(pass.Pkg.Path(), "internal", "cmd") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exempt(pass, call) {
+				return true
+			}
+			if pass.DirectiveAt(call.Pos(), "errcheck-ok") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error return of %s is silently dropped: handle it or mark //lint:errcheck-ok",
+				calleeName(call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isError(t)
+	}
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exempt reports whether the callee is on the allowlist.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selection, ok := pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		t := selection.Recv()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return false
+		}
+		short := shortPkg(named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+		return exemptRecvs[short]
+	}
+	// Package-qualified function call.
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return exemptFuncs[obj.Pkg().Path()][obj.Name()]
+}
+
+func shortPkg(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// calleeName renders the call target for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	default:
+		return "call"
+	}
+}

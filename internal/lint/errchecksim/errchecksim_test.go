@@ -1,0 +1,15 @@
+package errchecksim_test
+
+import (
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/errchecksim"
+)
+
+func TestErrcheckSim(t *testing.T) {
+	analysistest.Run(t, errchecksim.Analyzer,
+		"clumsy/internal/app",
+		"example.com/util",
+	)
+}

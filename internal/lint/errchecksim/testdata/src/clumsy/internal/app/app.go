@@ -1,0 +1,28 @@
+// Fixture: dropped errors inside internal/. Only bare expression statements
+// are flagged; explicit discards, the fmt print family, and infallible
+// writers stay allowed.
+package app
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func clean() int { return 0 }
+
+func drops(f *os.File, sb *strings.Builder) {
+	fallible()     // want `error return of fallible is silently dropped`
+	pair()         // want `error return of pair is silently dropped`
+	f.Close()      // want `error return of f.Close is silently dropped`
+	clean()        // no error result: no diagnostic
+	_ = fallible() // explicit discard is visible in review: allowed
+	fmt.Println(1) // fmt print family: exempt
+	fmt.Fprintf(os.Stderr, "x")
+	sb.WriteString("x") // infallible writer: exempt
+	fallible()          //lint:errcheck-ok — fixture: deliberate drop
+}

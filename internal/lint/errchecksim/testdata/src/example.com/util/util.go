@@ -1,0 +1,8 @@
+// Fixture: a package outside internal/ and cmd/ — out of scope, silent.
+package util
+
+func fallible() error { return nil }
+
+func free() {
+	fallible() // out of scope: no diagnostic
+}

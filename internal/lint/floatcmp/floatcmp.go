@@ -1,0 +1,84 @@
+// Package floatcmp guards the numeric kernels where the paper's Eq. 1-4
+// fits live (internal/{circuit,energy,cacti,stats,metrics}): comparing
+// floating-point values with == or != there is almost always a latent bug,
+// because the fitted models produce values that are equal analytically but
+// not bitwise. Exact comparison against the constant 0 is allowed — zero is
+// a common exact sentinel ("no observations yet", "feature off") and is
+// representable precisely. Any other deliberate exact comparison carries
+// `//lint:floatcmp-ok` with a reason.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"clumsy/internal/lint/analysis"
+)
+
+// Packages are the numeric-kernel package directories.
+var Packages = []string{
+	"internal/circuit",
+	"internal/energy",
+	"internal/cacti",
+	"internal/stats",
+	"internal/metrics",
+}
+
+// Analyzer is the floatcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= on floating-point operands in the numeric kernels " +
+		"(zero-sentinel comparisons allowed; escape: //lint:floatcmp-ok)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathWithin(pass.Pkg.Path(), Packages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, bin.X) && !isFloat(pass, bin.Y) {
+				return true
+			}
+			if isZero(pass, bin.X) || isZero(pass, bin.Y) {
+				return true
+			}
+			if pass.DirectiveAt(bin.Pos(), "floatcmp-ok") {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "floating-point %s comparison in a numeric kernel: compare against a tolerance or mark //lint:floatcmp-ok", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isZero reports whether e is a compile-time constant equal to exactly 0.
+func isZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

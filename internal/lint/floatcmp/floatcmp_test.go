@@ -1,0 +1,15 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer,
+		"clumsy/internal/stats",
+		"clumsy/internal/packet",
+	)
+}

@@ -1,0 +1,6 @@
+// Fixture: a package outside the numeric kernels — out of scope, silent.
+package packet
+
+func equal(a, b float64) bool {
+	return a == b // out of scope: no diagnostic
+}

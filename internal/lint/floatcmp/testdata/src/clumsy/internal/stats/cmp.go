@@ -1,0 +1,28 @@
+// Fixture: float comparisons inside a numeric-kernel package. Exact ==/!=
+// is rejected except against the constant zero sentinel.
+package stats
+
+func compare(a, b float64, n int) int {
+	if a == b { // want `floating-point == comparison in a numeric kernel`
+		return 1
+	}
+	if a != b { // want `floating-point != comparison in a numeric kernel`
+		return 2
+	}
+	if a == 0 { // zero sentinel: allowed
+		return 3
+	}
+	if 0.0 != b { // zero sentinel on the left: allowed
+		return 4
+	}
+	if n == 3 { // integers: not our business
+		return 5
+	}
+	if a == 1 { // want `floating-point == comparison in a numeric kernel`
+		return 6
+	}
+	if a == 1 { //lint:floatcmp-ok — fixture: exact representable endpoint
+		return 7
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+// Package load turns `go list` package patterns into fully type-checked
+// syntax trees without depending on golang.org/x/tools/go/packages (the
+// build environment is offline). It shells out to
+//
+//	go list -export -json -deps <patterns>
+//
+// which compiles every dependency into the build cache and reports, per
+// package, the gc export-data file. Target packages (the ones matching the
+// patterns) are then parsed from source and type-checked with go/types,
+// resolving every import through the export data — the classic pre-modules
+// driver technique, fast because no dependency is ever re-checked from
+// source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists and type-checks the packages matching the patterns, resolved
+// relative to dir. Test files are not loaded (invariants are enforced on
+// the shipped sources); packages consisting only of tests are skipped.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			pp := p
+			targets = append(targets, &pp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package from source.
+func check(fset *token.FileSet, imp types.Importer, t *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	typesPkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type errors:\n  %s", t.ImportPath, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   t.ImportPath,
+		Dir:       t.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}, nil
+}

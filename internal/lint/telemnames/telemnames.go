@@ -1,0 +1,105 @@
+// Package telemnames cross-checks every telemetry instrument and
+// trace-event name in the tree against the registry table in
+// internal/telemetry (names.go). A Counter or Histogram lookup whose name
+// is a constant must use a registered name — misspelled or undocumented
+// names are exactly the silent drift the registry exists to prevent (the
+// stats subcommand, dashboards, and the CHANGES.md contract all read the
+// same table). Non-constant names are flagged too, so dynamically built
+// families stay auditable; a deliberate one (the per-cache-level family)
+// carries `//lint:telemname-dynamic`.
+//
+// Inside internal/telemetry itself the analyzer additionally checks the
+// event-type literals passed to (*RunTrace).begin, which is where every
+// JSONL record type originates.
+package telemnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"clumsy/internal/lint/analysis"
+	"clumsy/internal/telemetry"
+)
+
+// Analyzer is the telemnames check.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemnames",
+	Doc: "require telemetry counter/histogram/event names to come from the " +
+		"registry table in internal/telemetry (escape: //lint:telemname-dynamic)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, method := receiverOf(pass, sel)
+			if recv == "" {
+				return true
+			}
+			var kind telemetry.Kind
+			switch {
+			case recv == "Registry" && method == "Counter":
+				kind = telemetry.KindCounter
+			case recv == "Registry" && method == "Histogram":
+				kind = telemetry.KindHistogram
+			case recv == "RunTrace" && method == "begin":
+				kind = telemetry.KindEvent
+			default:
+				return true
+			}
+			checkName(pass, call.Args[0], kind)
+			return true
+		})
+	}
+	return nil
+}
+
+// receiverOf resolves a method call's receiver type name and method name,
+// restricted to methods of the internal/telemetry package.
+func receiverOf(pass *analysis.Pass, sel *ast.SelectorExpr) (recv, method string) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || !analysis.PathWithin(fn.Pkg().Path(), "internal/telemetry") {
+		return "", ""
+	}
+	t := selection.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	return named.Obj().Name(), fn.Name()
+}
+
+// checkName validates one name argument against the registry table.
+func checkName(pass *analysis.Pass, arg ast.Expr, kind telemetry.Kind) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		if !pass.DirectiveAt(arg.Pos(), "telemname-dynamic") {
+			pass.Reportf(arg.Pos(),
+				"non-constant telemetry %s name: use a registered constant from internal/telemetry/names.go "+
+					"or mark the deliberate dynamic family with //lint:telemname-dynamic", kind)
+		}
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !telemetry.Registered(name, kind) {
+		pass.Reportf(arg.Pos(),
+			"unregistered telemetry %s name %q: add it to the registry table in internal/telemetry/names.go",
+			kind, name)
+	}
+}

@@ -1,0 +1,12 @@
+package telemnames_test
+
+import (
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/telemnames"
+)
+
+func TestTelemNames(t *testing.T) {
+	analysistest.Run(t, telemnames.Analyzer, "clumsy/internal/observe")
+}

@@ -1,0 +1,17 @@
+// Fixture: telemetry-name hygiene. Names must be constants from the
+// registry table; misspellings, kind mismatches, and unmarked dynamic names
+// are all rejected.
+package observe
+
+import "clumsy/internal/telemetry"
+
+func instrument(reg *telemetry.Registry, dyn string) {
+	reg.Counter(telemetry.CtrRunCount).Inc() // registry constant: ok
+	reg.Counter("run.count").Inc()           // raw literal, but registered: ok
+	reg.Counter("run.cuont").Inc()           // want `unregistered telemetry counter name "run.cuont"`
+	reg.Histogram(telemetry.HistPacketCycles).Observe(1)
+	reg.Histogram("packet.cyc").Observe(1)                        // want `unregistered telemetry histogram name "packet.cyc"`
+	reg.Histogram("run.count").Observe(1)                         // want `unregistered telemetry histogram name "run.count"`
+	reg.Counter(dyn).Inc()                                        // want `non-constant telemetry counter name`
+	reg.Counter(telemetry.CacheCounterName("l1d", "reads")).Inc() //lint:telemname-dynamic fixture
+}

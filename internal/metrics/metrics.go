@@ -239,7 +239,7 @@ func (r Report) ErrorProbability(name string) float64 {
 // StructureNames returns the observed structure names in sorted order.
 func (r Report) StructureNames() []string {
 	names := make([]string, 0, len(r.PerStructure))
-	for n := range r.PerStructure {
+	for n := range r.PerStructure { //lint:det-ok — iteration order irrelevant: names are sorted before return
 		names = append(names, n)
 	}
 	sort.Strings(names)

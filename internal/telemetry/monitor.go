@@ -64,7 +64,7 @@ func (m *RunMonitor) Begin(total, workers int) {
 	m.total = total
 	m.done = 0
 	m.workers = workers
-	m.started = time.Now()
+	m.started = time.Now() //lint:wallclock-ok — wall-clock progress reporting, never feeds simulated state
 	m.busy = 0
 	m.mu.Unlock()
 }
@@ -75,8 +75,8 @@ func (m *RunMonitor) RunDone(d time.Duration) {
 		return
 	}
 	if m.Registry != nil {
-		m.Registry.Counter("experiment.runs").Inc()
-		m.Registry.Histogram("experiment.run_ms").Observe(uint64(d.Milliseconds()))
+		m.Registry.Counter(CtrExperimentRuns).Inc()
+		m.Registry.Histogram(HistExperimentRunMS).Observe(uint64(d.Milliseconds()))
 	}
 	m.mu.Lock()
 	m.done++
@@ -107,7 +107,7 @@ func (m *RunMonitor) progressLocked() Progress {
 		Busy:    m.busy,
 	}
 	if !m.started.IsZero() {
-		p.Elapsed = time.Since(m.started)
+		p.Elapsed = time.Since(m.started) //lint:wallclock-ok — elapsed wall time of the grid, reporting only
 	}
 	if m.done > 0 {
 		p.AvgRun = m.busy / time.Duration(m.done)

@@ -1,0 +1,186 @@
+package telemetry
+
+import "sort"
+
+// Kind classifies a registered telemetry name.
+type Kind int
+
+const (
+	// KindCounter names a monotonic counter in the registry.
+	KindCounter Kind = iota
+	// KindHistogram names a log2-bucketed histogram in the registry.
+	KindHistogram
+	// KindEvent names a structured trace event type (the "type" field of
+	// the JSONL records).
+	KindEvent
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	case KindEvent:
+		return "event"
+	default:
+		return "unknown"
+	}
+}
+
+// NameSpec documents one registered telemetry name. The table below is the
+// single source of truth for the simulator's instrument and event names:
+// the `telemnames` analyzer in internal/lint rejects any Counter/Histogram
+// lookup or trace-event type that is not listed here, and the CLI `stats
+// -describe` subcommand prints it.
+type NameSpec struct {
+	Name string
+	Kind Kind
+	Help string
+}
+
+// Registered counter names. Instrumented code must reference counters
+// through these constants (or the cache-level helper below); a raw string
+// literal that drifts from the table is a lint error.
+const (
+	CtrRunCount                = "run.count"
+	CtrRunFatal                = "run.fatal"
+	CtrRunPacketsProcessed     = "run.packets_processed"
+	CtrRunPacketsDropped       = "run.packets_dropped"
+	CtrRunInstructions         = "run.instructions"
+	CtrRunCycles               = "run.cycles"
+	CtrFaultReadInjected       = "fault.read_injected"
+	CtrFaultWriteInjected      = "fault.write_injected"
+	CtrRecoveryDetected        = "recovery.detected"
+	CtrRecoveryRetries         = "recovery.retries"
+	CtrRecoveryRecoveries      = "recovery.recoveries"
+	CtrRecoveryECCCorrected    = "recovery.ecc_corrected"
+	CtrRecoveryECCMiscorrected = "recovery.ecc_miscorrected"
+	CtrRecoveryContained       = "recovery.contained"
+	CtrRecoveryRestoredPages   = "recovery.restored_pages"
+	CtrFreqEpochs              = "freq.epochs"
+	CtrFreqUpTransitions       = "freq.up_transitions"
+	CtrFreqDownTransitions     = "freq.down_transitions"
+	CtrFreqSwitches            = "freq.switches"
+	CtrFreqPenaltyCycles       = "freq.penalty_cycles"
+	CtrWatchdogKills           = "watchdog.kills"
+	CtrExperimentRuns          = "experiment.runs"
+)
+
+// Registered histogram names.
+const (
+	HistPacketInstructions = "packet.instructions"
+	HistPacketCycles       = "packet.cycles"
+	HistExperimentRunMS    = "experiment.run_ms"
+)
+
+// Registered trace-event types.
+const (
+	EventRunStart       = "run_start"
+	EventRunEnd         = "run_end"
+	EventFaultInjection = "fault_injection"
+	EventRecovery       = "recovery"
+	EventFreqTransition = "freq_transition"
+	EventPacketDrop     = "packet_drop"
+	EventStateRestore   = "state_restore"
+)
+
+// CacheLevels are the per-level counter families of the memory hierarchy.
+var CacheLevels = []string{"l1d", "l1i", "l2", "mem"}
+
+// cacheEvents are the per-level cache counter suffixes.
+var cacheEvents = []struct{ suffix, help string }{
+	{"reads", "read accesses"},
+	{"writes", "write accesses"},
+	{"read_misses", "read misses"},
+	{"write_misses", "write misses"},
+	{"writebacks", "dirty lines written to the next level"},
+	{"invalidations", "lines dropped by recovery or DMA coherence"},
+}
+
+// CacheCounterName returns the registered counter name for one cache
+// level's event, e.g. ("l1d", "reads") -> "cache.l1d.reads".
+func CacheCounterName(level, event string) string {
+	return "cache." + level + "." + event
+}
+
+// names is the full registry table, built once at init.
+var names []NameSpec
+
+// byName indexes the table for Registered.
+var byName map[string]Kind
+
+func init() {
+	names = []NameSpec{
+		{CtrRunCount, KindCounter, "simulated faulty runs started"},
+		{CtrRunFatal, KindCounter, "runs ended by a fatal error"},
+		{CtrRunPacketsProcessed, KindCounter, "packets completed across runs"},
+		{CtrRunPacketsDropped, KindCounter, "packets dropped (aborted or contained)"},
+		{CtrRunInstructions, KindCounter, "instructions executed across runs"},
+		{CtrRunCycles, KindCounter, "cycles burned across runs"},
+		{CtrFaultReadInjected, KindCounter, "fault events injected on the L1D read path"},
+		{CtrFaultWriteInjected, KindCounter, "fault events injected on the L1D write path"},
+		{CtrRecoveryDetected, KindCounter, "detected (uncorrectable) parity/ECC mismatches"},
+		{CtrRecoveryRetries, KindCounter, "L1 re-reads before recovery (two-/three-strike)"},
+		{CtrRecoveryRecoveries, KindCounter, "refetch-from-L2 recovery sequences"},
+		{CtrRecoveryECCCorrected, KindCounter, "single-bit faults repaired in place by ECC"},
+		{CtrRecoveryECCMiscorrected, KindCounter, ">=3-bit faults silently miscorrected by ECC"},
+		{CtrRecoveryContained, KindCounter, "fatal errors contained as packet drops"},
+		{CtrRecoveryRestoredPages, KindCounter, "checkpoint pages rolled back by containment"},
+		{CtrFreqEpochs, KindCounter, "dynamic-frequency controller epochs"},
+		{CtrFreqUpTransitions, KindCounter, "epochs that sped the L1D up"},
+		{CtrFreqDownTransitions, KindCounter, "epochs that slowed the L1D down"},
+		{CtrFreqSwitches, KindCounter, "operating-point switches applied"},
+		{CtrFreqPenaltyCycles, KindCounter, "cycles charged for frequency switches"},
+		{CtrWatchdogKills, KindCounter, "packets killed by the instruction-budget watchdog"},
+		{CtrExperimentRuns, KindCounter, "experiment-grid runs completed"},
+
+		{HistPacketInstructions, KindHistogram, "instructions per completed packet"},
+		{HistPacketCycles, KindHistogram, "cycles per completed packet"},
+		{HistExperimentRunMS, KindHistogram, "wall-clock milliseconds per grid run"},
+
+		{EventRunStart, KindEvent, "configuration of a starting run"},
+		{EventRunEnd, KindEvent, "outcome of a finished run"},
+		{EventFaultInjection, KindEvent, "one injected fault on the L1D read or write path"},
+		{EventRecovery, KindEvent, "one step of the k-strike recovery machinery"},
+		{EventFreqTransition, KindEvent, "one applied dynamic-frequency decision"},
+		{EventPacketDrop, KindEvent, "one packet killed by a fatal error"},
+		{EventStateRestore, KindEvent, "one fault-containment rollback to a packet boundary"},
+	}
+	for _, level := range CacheLevels {
+		for _, ev := range cacheEvents {
+			names = append(names, NameSpec{
+				Name: CacheCounterName(level, ev.suffix),
+				Kind: KindCounter,
+				Help: "L1D/L1I/L2/memory " + ev.help + " (" + level + ")",
+			})
+		}
+	}
+	byName = make(map[string]Kind, len(names))
+	for _, n := range names {
+		if _, dup := byName[n.Name]; dup {
+			panic("telemetry: duplicate registered name " + n.Name)
+		}
+		byName[n.Name] = n.Kind
+	}
+}
+
+// Names returns the registry table sorted by kind then name.
+func Names() []NameSpec {
+	out := make([]NameSpec, len(names))
+	copy(out, names)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Registered reports whether name is a registered instrument or event of
+// the given kind.
+func Registered(name string, k Kind) bool {
+	kind, ok := byName[name]
+	return ok && kind == k
+}

@@ -145,7 +145,7 @@ func (rt *RunTrace) RunStart(app string, packets int, seed uint64, cr float64, d
 	if rt == nil {
 		return
 	}
-	b := rt.begin("run_start")
+	b := rt.begin(EventRunStart)
 	b = appendStr(b, "app", app)
 	b = appendInt(b, "packets", int64(packets))
 	b = appendUint(b, "seed", seed)
@@ -164,7 +164,7 @@ func (rt *RunTrace) RunEnd(processed, dropped int, instrs uint64, fatal bool) {
 	if rt == nil {
 		return
 	}
-	b := rt.begin("run_end")
+	b := rt.begin(EventRunEnd)
 	b = appendInt(b, "processed", int64(processed))
 	b = appendInt(b, "dropped", int64(dropped))
 	b = appendUint(b, "instrs", instrs)
@@ -178,7 +178,7 @@ func (rt *RunTrace) FaultInjection(path string, bitsFlipped int, addr uint64) {
 	if rt == nil {
 		return
 	}
-	b := rt.begin("fault_injection")
+	b := rt.begin(EventFaultInjection)
 	b = appendStr(b, "path", path)
 	b = appendInt(b, "bits", int64(bitsFlipped))
 	b = appendUint(b, "addr", addr)
@@ -193,7 +193,7 @@ func (rt *RunTrace) Recovery(kind string, attempt int, addr uint64) {
 	if rt == nil {
 		return
 	}
-	b := rt.begin("recovery")
+	b := rt.begin(EventRecovery)
 	b = appendStr(b, "kind", kind)
 	b = appendInt(b, "attempt", int64(attempt))
 	b = appendUint(b, "addr", addr)
@@ -207,7 +207,7 @@ func (rt *RunTrace) FreqTransition(packet int, decision string, cr float64) {
 	if rt == nil {
 		return
 	}
-	b := rt.begin("freq_transition")
+	b := rt.begin(EventFreqTransition)
 	b = appendInt(b, "packet", int64(packet))
 	b = appendStr(b, "decision", decision)
 	b = appendFloat(b, "cr", cr)
@@ -222,7 +222,7 @@ func (rt *RunTrace) PacketDrop(packet int, reason string) {
 	if rt == nil {
 		return
 	}
-	b := rt.begin("packet_drop")
+	b := rt.begin(EventPacketDrop)
 	b = appendInt(b, "packet", int64(packet))
 	b = appendStr(b, "reason", reason)
 	rt.end(b)
@@ -235,7 +235,7 @@ func (rt *RunTrace) StateRestore(packet, pages int, reason string) {
 	if rt == nil {
 		return
 	}
-	b := rt.begin("state_restore")
+	b := rt.begin(EventStateRestore)
 	b = appendInt(b, "packet", int64(packet))
 	b = appendInt(b, "pages", int64(pages))
 	b = appendStr(b, "reason", reason)
