@@ -11,10 +11,10 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
 # lint is the full static-analysis gate: standard vet, formatting drift,
 # and the project's own invariant analyzers (see internal/lint).

@@ -15,17 +15,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"clumsy/internal/apps"
+	"clumsy/internal/atomicio"
 	"clumsy/internal/cache"
 	"clumsy/internal/clumsy"
 	"clumsy/internal/experiment"
@@ -104,7 +109,12 @@ func run(args []string, w io.Writer) (err error) {
 	maxDropRate := fs.Float64("max-drop-rate", 0, "under -recovery drop, abort once this drop fraction is exceeded (0 = unlimited)")
 	watchdog := fs.Float64("watchdog", 0, "per-packet instruction budget as a multiple of the golden worst packet (0 = default 500)")
 	format := fs.String("format", "text", "output format: text or csv (stats: text=Prometheus or json)")
-	out := fs.String("out", "", "write binary output to this file (trace command)")
+	out := fs.String("out", "", "write command output to this file atomically instead of stdout")
+	journalPath := fs.String("journal", "", "record completed campaign cells to this JSONL journal")
+	resume := fs.Bool("resume", false, "with -journal, skip cells already recorded in the journal")
+	runTimeout := fs.Duration("run-timeout", 0, "per-grid-cell wall-clock deadline, e.g. 90s (0 = none)")
+	retries := fs.Int("retries", 0, "retries per cell for transient host failures (simulated outcomes never retry)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base retry delay, doubled per attempt (0 = default 100ms)")
 	tracePath := fs.String("trace", "", "replay a binary trace file instead of generating (run command)")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace of every simulated run to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -119,10 +129,34 @@ func run(args []string, w io.Writer) (err error) {
 		return err
 	}
 
+	// Campaign context: the first SIGINT/SIGTERM cancels it, letting the
+	// experiment grids drain in-flight cells, flush the journal, and report
+	// partial progress. A second signal force-quits.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sig)
+		close(sig)
+	}()
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\nclumsy: %v — stopping campaign (send again to force quit)\n", s)
+		cancel()
+		if _, ok := <-sig; ok {
+			os.Exit(130)
+		}
+	}()
+
 	o := cliOpts{
 		opt: experiment.Options{
 			Packets: *packets, Trials: *trials, FaultScale: *scale, Seed: *seed,
 			Recovery: policy, MaxDropRate: *maxDropRate,
+			Ctx: ctx, RunTimeout: *runTimeout, Retries: *retries, RetryBackoff: *retryBackoff,
 		},
 		app:         *appName,
 		packets:     *packets,
@@ -148,7 +182,10 @@ func run(args []string, w io.Writer) (err error) {
 	clumsy.SetDefaultTelemetry(o.tel)
 	defer clumsy.SetDefaultTelemetry(nil)
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		// Atomic: the trace file appears under its final name only once the
+		// sink is flushed and closed, so a killed command never leaves a
+		// truncated JSONL behind.
+		f, err := atomicio.Create(*traceOut)
 		if err != nil {
 			return err
 		}
@@ -156,18 +193,31 @@ func run(args []string, w io.Writer) (err error) {
 		o.tel.SetSink(sink)
 		defer sink.Close()
 	}
+	if *journalPath != "" {
+		j, loaded, jerr := experiment.OpenJournal(*journalPath, *resume)
+		if jerr != nil {
+			return jerr
+		}
+		o.opt.Journal = j
+		if *resume {
+			fmt.Fprintf(os.Stderr, "clumsy: resuming campaign from %s (%d cells recorded)\n", *journalPath, loaded)
+			o.tel.StartRun(nil).CampaignResume(*journalPath, loaded)
+		}
+	} else if *resume {
+		return fmt.Errorf("-resume requires -journal")
+	}
 	if *progress {
 		mon := &telemetry.RunMonitor{Registry: o.tel.Registry, OnProgress: printProgress}
 		experiment.SetMonitor(mon)
 		defer experiment.SetMonitor(nil)
 	}
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		f, err := atomicio.Create(*cpuprofile)
 		if err != nil {
 			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close() //lint:errcheck-ok — already returning the profile-start error
+			f.Abort()
 			return err
 		}
 		defer func() {
@@ -179,6 +229,30 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if *memprofile != "" {
 		defer writeHeapProfile(*memprofile)
+	}
+	err = dispatch(cmd, o, w)
+	if errors.Is(err, context.Canceled) {
+		// Interrupted: report how much of the campaign survives, and how to
+		// pick it back up.
+		if j := o.opt.Journal; j != nil {
+			fmt.Fprintf(os.Stderr, "clumsy: interrupted — %d cells journaled to %s; rerun with -resume to continue\n",
+				j.Len(), j.Path())
+		} else {
+			fmt.Fprintln(os.Stderr, "clumsy: interrupted — no journal kept (use -journal to make campaigns resumable)")
+		}
+	}
+	return err
+}
+
+// dispatch routes the command's output: with -out the full rendering is
+// written atomically to the file (a cancelled or failed command leaves no
+// partial file), otherwise it streams to w. The trace command manages its
+// own -out semantics (binary trace payload).
+func dispatch(cmd string, o cliOpts, w io.Writer) error {
+	if o.out != "" && cmd != "trace" {
+		return atomicio.WriteFile(o.out, func(f io.Writer) error {
+			return execute(cmd, o, f)
+		})
 	}
 	return execute(cmd, o, w)
 }
@@ -198,14 +272,8 @@ func printProgress(p telemetry.Progress) {
 // writeHeapProfile dumps the heap profile at exit; failures are reported
 // but do not change the command's outcome.
 func writeHeapProfile(path string) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "clumsy: memprofile:", err)
-		return
-	}
-	defer f.Close()
 	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
+	if err := atomicio.WriteFile(path, pprof.WriteHeapProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "clumsy: memprofile:", err)
 	}
 }
@@ -458,12 +526,7 @@ func dumpTrace(w io.Writer, appName string, packets int, seed uint64, out string
 		return err
 	}
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := tr.Serialize(f); err != nil {
+		if err := atomicio.WriteFile(out, tr.Serialize); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %d packets to %s\n", len(tr.Packets), out)
@@ -648,6 +711,21 @@ extensions (beyond the paper's evaluation; -app selects the workload):
   extensions all seven extension studies
 
 common flags: -packets N  -trials N  -scale X  -seed N  -format text|csv
+              -out f (write output atomically to f instead of stdout)
+
+resilient campaigns (any experiment command):
+  -journal f.jsonl     record every completed grid cell to a durable journal
+                       (atomic rewrite per cell; survives kill at any point)
+  -resume              with -journal, skip cells already recorded; the resumed
+                       campaign's output is byte-identical to an uninterrupted run
+  -run-timeout D       per-grid-cell wall-clock deadline (e.g. 90s); a wedged
+                       cell fails with a diagnostic instead of hanging the grid
+  -retries N           retry transient host failures per cell with exponential
+                       backoff; simulated outcomes (drop-rate exceeded, watchdog,
+                       traps) are deterministic and never retried
+  -retry-backoff D     base retry delay, doubled per attempt (default 100ms)
+  SIGINT/SIGTERM       first signal drains in-flight cells, flushes the journal,
+                       and reports partial progress; second force-quits
 
 fault containment (any simulation command):
   -recovery abort|drop   abort reproduces the paper's measurement semantics

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -373,5 +374,57 @@ func TestVerifyCommand(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("verify reported failures:\n%s", out)
+	}
+}
+
+// TestJournalResumeRoundTrip drives the resilient-campaign flags through the
+// CLI: a journaled run, then a -resume rerun that produces identical output
+// from the recorded cells alone.
+func TestJournalResumeRoundTrip(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	first := capture(t, "table1", "-packets", "150", "-trials", "1", "-journal", journal)
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines == 0 {
+		t.Fatal("journal holds no cells")
+	}
+	second := capture(t, "table1", "-packets", "150", "-trials", "1", "-journal", journal, "-resume")
+	if first != second {
+		t.Fatalf("resumed output differs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+func TestResumeRequiresJournal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"table1", "-resume"}, &buf); err == nil {
+		t.Fatal("-resume without -journal should error")
+	}
+}
+
+// TestOutFlagAtomicWrite: -out writes the full rendering to the file (no
+// partial file on failure paths is covered by the atomicio tests).
+func TestOutFlagAtomicWrite(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "table1.csv")
+	if msg := capture(t, "table1", "-packets", "150", "-trials", "1", "-format", "csv", "-out", out); msg != "" {
+		t.Fatalf("with -out, stdout should be quiet, got %q", msg)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "App,") {
+		t.Fatalf("-out file missing CSV header: %q", string(data[:min(len(data), 120)]))
+	}
+}
+
+// TestRunTimeoutFlag: an absurdly generous deadline must not perturb a
+// normal run, proving the watchdog path composes with real cells.
+func TestRunTimeoutFlag(t *testing.T) {
+	plain := capture(t, "fig8", "-packets", "150", "-trials", "1")
+	guarded := capture(t, "fig8", "-packets", "150", "-trials", "1", "-run-timeout", "5m", "-retries", "2")
+	if plain != guarded {
+		t.Fatal("deadline/retry flags changed the result of a healthy campaign")
 	}
 }

@@ -1,0 +1,122 @@
+// Package atomicio provides crash-safe file writes for campaign outputs:
+// result CSVs, event traces, profiles, and the experiment journal. Every
+// write goes through a temporary file in the target directory, is fsynced,
+// and is renamed into place, so a killed process (SIGKILL, OOM, power
+// loss) leaves either the previous complete file or the new complete file
+// — never a truncated half-write.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile produces path atomically: write receives a buffered writer
+// into a temporary file in path's directory; on success the temp file is
+// flushed, fsynced, and renamed over path. On any error the temp file is
+// removed and path is left untouched.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           //lint:errcheck-ok — already failing, the remove below is the cleanup that matters
+			os.Remove(tmp.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicio: flush %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: fsync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir makes the rename itself durable by fsyncing the directory entry.
+// Failures are deliberately ignored: some filesystems reject directory
+// fsync, and by this point the data file is complete and named.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()  //lint:errcheck-ok — best-effort durability of the rename, see above
+	d.Close() //lint:errcheck-ok — read-only directory handle
+}
+
+// File is a streaming atomic file: bytes are written to a temporary file
+// in the target directory and the file is renamed into place only when
+// Close succeeds. It backs outputs that are produced incrementally over a
+// whole command — JSONL event traces and pprof CPU profiles — so an
+// interrupted command never leaves a truncated output under the final
+// name.
+type File struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// Create opens a streaming atomic file that will become path on Close.
+func Create(path string) (*File, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{f: tmp, path: path}, nil
+}
+
+// Write appends to the temporary file.
+func (a *File) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Close fsyncs the temporary file and renames it to the final path. It is
+// idempotent; after the first successful Close further calls return nil.
+func (a *File) Close() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()           //lint:errcheck-ok — already failing, the remove below is the cleanup
+		os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
+		return fmt.Errorf("atomicio: fsync %s: %w", a.path, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
+		return fmt.Errorf("atomicio: close %s: %w", a.path, err)
+	}
+	if err := os.Rename(a.f.Name(), a.path); err != nil {
+		os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
+		return fmt.Errorf("atomicio: rename %s: %w", a.path, err)
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Abort discards the temporary file without touching the final path. Safe
+// to call after Close (it then does nothing).
+func (a *File) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()           //lint:errcheck-ok — discarding the file, nothing to preserve
+	os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup
+}

@@ -1,0 +1,137 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "a,b\n1,2\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a,b\n1,2\n" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestWriteFileOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// TestWriteFileErrorLeavesTargetUntouched is the crash-safety contract: a
+// failing producer must leave the previous complete file in place and no
+// temp litter behind.
+func TestWriteFileErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("producer failed")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "partial garbage")
+		if werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want producer error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "intact" {
+		t.Fatalf("target clobbered: %q", got)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+func TestCreateCloseRenames(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("{\"a\":1}\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Before Close the final name must not exist.
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("final path exists before Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "{\"a\":1}\n" {
+		t.Fatalf("content = %q", got)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+func TestCreateAbortRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("aborted file reached final path: %v", err)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}

@@ -84,43 +84,48 @@ func EDFGrid(app string, o Options) (*EDFResult, error) {
 
 	schemes := Schemes()
 	settings := Settings()
-	cells := make([]*EDFCell, len(schemes)*len(settings))
-	err := parallelFor(len(cells), func(idx int) error {
+	// Cells are journaled raw (pre-normalisation): the baseline division
+	// below depends on cell 0, which on a resumed campaign may itself come
+	// from the journal. Normalising after the grid completes keeps journal
+	// entries independent of completion order.
+	cells := make([]EDFCell, len(schemes)*len(settings))
+	err := parallelFor(o.ctx(), len(cells), func(idx int) error {
 		sch := schemes[idx/len(settings)]
 		set := settings[idx%len(settings)]
-		cell := &EDFCell{Scheme: sch.Name, Setting: set.Name}
-		var edf stats.Sample
-		var eSum, dSum, fSum float64
-		for trial := 0; trial < o.Trials; trial++ {
-			res, err := o.run(clumsy.Config{
-				App:        app,
-				Packets:    o.Packets,
-				Seed:       o.trialSeed(trial), // common random numbers across the grid
-				CycleTime:  set.CycleTime,
-				Dynamic:    set.Dynamic,
-				Detection:  sch.Detection,
-				Strikes:    sch.Strikes,
-				FaultScale: o.FaultScale,
-			})
-			if err != nil {
-				return fmt.Errorf("edf %s %s/%s: %w", app, sch.Name, set.Name, err)
+		return runCell(o, "edf-"+app, idx, [2]string{sch.Name, set.Name}, &cells[idx], func() (EDFCell, error) {
+			cell := EDFCell{Scheme: sch.Name, Setting: set.Name}
+			var edf stats.Sample
+			var eSum, dSum, fSum float64
+			for trial := 0; trial < o.Trials; trial++ {
+				res, err := o.run(clumsy.Config{
+					App:        app,
+					Packets:    o.Packets,
+					Seed:       o.trialSeed(trial), // common random numbers across the grid
+					CycleTime:  set.CycleTime,
+					Dynamic:    set.Dynamic,
+					Detection:  sch.Detection,
+					Strikes:    sch.Strikes,
+					FaultScale: o.FaultScale,
+				})
+				if err != nil {
+					return cell, fmt.Errorf("edf %s %s/%s: %w", app, sch.Name, set.Name, err)
+				}
+				edf.Add(res.EDF(o.Exponents))
+				eSum += res.Energy.Total()
+				dSum += res.Delay
+				fSum += res.Fallibility()
+				if res.Report.Fatal {
+					cell.Fatal = true
+				}
 			}
-			edf.Add(res.EDF(o.Exponents))
-			eSum += res.Energy.Total()
-			dSum += res.Delay
-			fSum += res.Fallibility()
-			if res.Report.Fatal {
-				cell.Fatal = true
-			}
-		}
-		n := float64(o.Trials)
-		cell.Relative = edf.Mean() // normalised below
-		cell.CI = edf.CI95()
-		cell.Energy = eSum / n
-		cell.Delay = dSum / n
-		cell.Fall = fSum / n
-		cells[idx] = cell
-		return nil
+			n := float64(o.Trials)
+			cell.Relative = edf.Mean() // normalised below
+			cell.CI = edf.CI95()
+			cell.Energy = eSum / n
+			cell.Delay = dSum / n
+			cell.Fall = fSum / n
+			return cell, nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -130,7 +135,7 @@ func EDFGrid(app string, o Options) (*EDFResult, error) {
 	for _, c := range cells {
 		c.Relative /= out.Baseline
 		c.CI /= out.Baseline
-		out.Cells = append(out.Cells, *c)
+		out.Cells = append(out.Cells, c)
 	}
 	return out, nil
 }

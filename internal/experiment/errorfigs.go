@@ -28,43 +28,44 @@ func ErrorBehaviour(app string, o Options) ([]ErrorSweep, error) {
 	o = o.withDefaults()
 	planes := []clumsy.Planes{clumsy.PlaneControl, clumsy.PlaneData, clumsy.PlaneBoth}
 	out := make([]ErrorSweep, len(planes))
-	err := parallelFor(len(planes), func(pi int) error {
+	err := parallelFor(o.ctx(), len(planes), func(pi int) error {
 		plane := planes[pi]
-		sweep := ErrorSweep{App: app, Plane: plane, Prob: map[string][]float64{}}
-		for ci, cr := range CycleTimes {
-			probSum := map[string]float64{}
-			fatalSum := 0.0
-			for trial := 0; trial < o.Trials; trial++ {
-				res, err := o.run(clumsy.Config{
-					App:        app,
-					Packets:    o.Packets,
-					Seed:       o.trialSeed(trial), // common random numbers across operating points
-					CycleTime:  cr,
-					FaultScale: o.FaultScale,
-					Planes:     plane,
-				})
-				if err != nil {
-					return fmt.Errorf("error sweep %s %v cr=%v: %w", app, plane, cr, err)
+		return runCell(o, "error-"+app, pi, int(plane), &out[pi], func() (ErrorSweep, error) {
+			sweep := ErrorSweep{App: app, Plane: plane, Prob: map[string][]float64{}}
+			for ci, cr := range CycleTimes {
+				probSum := map[string]float64{}
+				fatalSum := 0.0
+				for trial := 0; trial < o.Trials; trial++ {
+					res, err := o.run(clumsy.Config{
+						App:        app,
+						Packets:    o.Packets,
+						Seed:       o.trialSeed(trial), // common random numbers across operating points
+						CycleTime:  cr,
+						FaultScale: o.FaultScale,
+						Planes:     plane,
+					})
+					if err != nil {
+						return sweep, fmt.Errorf("error sweep %s %v cr=%v: %w", app, plane, cr, err)
+					}
+					for _, name := range res.Report.StructureNames() {
+						probSum[name] += res.Report.ErrorProbability(name)
+					}
+					fatalSum += res.FatalProbability()
 				}
-				for _, name := range res.Report.StructureNames() {
-					probSum[name] += res.Report.ErrorProbability(name)
+				for name, sum := range probSum {
+					if _, ok := sweep.Prob[name]; !ok {
+						sweep.Prob[name] = make([]float64, len(CycleTimes))
+					}
+					sweep.Prob[name][ci] = sum / float64(o.Trials)
 				}
-				fatalSum += res.FatalProbability()
+				sweep.Fatal = append(sweep.Fatal, fatalSum/float64(o.Trials))
 			}
-			for name, sum := range probSum {
-				if _, ok := sweep.Prob[name]; !ok {
-					sweep.Prob[name] = make([]float64, len(CycleTimes))
-				}
-				sweep.Prob[name][ci] = sum / float64(o.Trials)
+			for name := range sweep.Prob {
+				sweep.Struct = append(sweep.Struct, name)
 			}
-			sweep.Fatal = append(sweep.Fatal, fatalSum/float64(o.Trials))
-		}
-		for name := range sweep.Prob {
-			sweep.Struct = append(sweep.Struct, name)
-		}
-		sort.Strings(sweep.Struct)
-		out[pi] = sweep
-		return nil
+			sort.Strings(sweep.Struct)
+			return sweep, nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -120,28 +121,29 @@ func Fig8(o Options) ([]FatalRow, error) {
 	o = o.withDefaults()
 	names := apps.Names()
 	rows := make([]FatalRow, len(names))
-	err := parallelFor(len(names), func(ai int) error {
+	err := parallelFor(o.ctx(), len(names), func(ai int) error {
 		name := names[ai]
-		row := FatalRow{App: name}
-		for _, cr := range CycleTimes {
-			sum := 0.0
-			for trial := 0; trial < o.Trials; trial++ {
-				res, err := o.run(clumsy.Config{
-					App:        name,
-					Packets:    o.Packets,
-					Seed:       o.trialSeed(trial), // common random numbers across operating points
-					CycleTime:  cr,
-					FaultScale: o.FaultScale,
-				})
-				if err != nil {
-					return fmt.Errorf("fig8 %s cr=%v: %w", name, cr, err)
+		return runCell(o, "fig8", ai, name, &rows[ai], func() (FatalRow, error) {
+			row := FatalRow{App: name}
+			for _, cr := range CycleTimes {
+				sum := 0.0
+				for trial := 0; trial < o.Trials; trial++ {
+					res, err := o.run(clumsy.Config{
+						App:        name,
+						Packets:    o.Packets,
+						Seed:       o.trialSeed(trial), // common random numbers across operating points
+						CycleTime:  cr,
+						FaultScale: o.FaultScale,
+					})
+					if err != nil {
+						return row, fmt.Errorf("fig8 %s cr=%v: %w", name, cr, err)
+					}
+					sum += res.FatalProbability()
 				}
-				sum += res.FatalProbability()
+				row.Fatal = append(row.Fatal, sum/float64(o.Trials))
 			}
-			row.Fatal = append(row.Fatal, sum/float64(o.Trials))
-		}
-		rows[ai] = row
-		return nil
+			return row, nil
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -5,7 +5,9 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"clumsy/internal/clumsy"
 	"clumsy/internal/metrics"
@@ -30,6 +32,44 @@ type Options struct {
 	// MaxDropRate is the graceful-degradation threshold forwarded to every
 	// run under RecoverDrop (0 = unlimited).
 	MaxDropRate float64
+
+	// Ctx cancels a running campaign: every simulation checks it before
+	// starting and every grid stops issuing work once it is done, so a
+	// SIGINT propagates promptly instead of finishing the sweep. Nil means
+	// context.Background() (never cancelled).
+	Ctx context.Context
+
+	// RunTimeout is the wall-clock deadline of one grid cell (one
+	// journal-able unit of a study, typically Trials runs of one
+	// configuration). A wedged cell fails with a diagnostic naming the
+	// study and cell instead of hanging the whole grid. Zero disables the
+	// watchdog.
+	RunTimeout time.Duration
+
+	// Retries bounds how many times a cell is re-executed after a
+	// transient host failure (I/O errors, resource exhaustion).
+	// Sim-semantic failures — ErrDropRateExceeded, watchdog kills, traps,
+	// application panics — are deterministic properties of the
+	// configuration and are never retried. Zero means fail on the first
+	// error.
+	Retries int
+
+	// RetryBackoff is the deterministic base delay between retry attempts;
+	// attempt k sleeps RetryBackoff << k. Zero with Retries > 0 uses a
+	// 100ms base.
+	RetryBackoff time.Duration
+
+	// Journal, when non-nil, makes the campaign durable: every completed
+	// grid cell is recorded (atomically, keyed by a content hash of study,
+	// cell index, and configuration) and cells already present are
+	// satisfied from the journal instead of recomputed, so a killed
+	// campaign resumes byte-identically.
+	Journal *Journal
+
+	// afterCell, when non-nil, observes every computed (not
+	// journal-skipped) cell. Test hook: lets a test cancel Ctx mid-grid at
+	// a deterministic point.
+	afterCell func(study string, index int)
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -60,7 +100,18 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = d.Seed
 	}
+	if o.Retries > 0 && o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
 	return o
+}
+
+// ctx returns the campaign context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // trialSeed derives the seed of one trial.
@@ -70,8 +121,13 @@ func (o Options) trialSeed(trial int) uint64 {
 
 // run executes one configuration with the experiment-wide recovery policy
 // applied. Every experiment goes through this wrapper so a single Options
-// switch regenerates the whole evaluation under drop-and-continue.
+// switch regenerates the whole evaluation under drop-and-continue, and a
+// cancelled campaign context stops every study between runs — including
+// the serial extension sweeps that never touch parallelFor.
 func (o Options) run(cfg clumsy.Config) (*clumsy.Result, error) {
+	if err := o.ctx().Err(); err != nil {
+		return nil, err
+	}
 	cfg.Recovery = o.Recovery
 	cfg.MaxDropRate = o.MaxDropRate
 	return clumsy.Run(cfg)

@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"clumsy/internal/atomicio"
+)
+
+// The campaign journal makes long sweeps durable. Every completed grid
+// cell — one journal-able unit of a study, e.g. one application of
+// Table I or one scheme x setting of an EDF grid — is recorded as one
+// JSONL entry keyed by a content hash of (study, cell index, config
+// fingerprint). A campaign restarted with the same journal and -resume
+// satisfies already-recorded cells from the journal instead of
+// recomputing them; because every simulation is a pure function of its
+// configuration, the resumed campaign's outputs are byte-identical to an
+// uninterrupted run.
+//
+// The file is rewritten atomically (temp file + fsync + rename) on every
+// record, so at any kill point it holds a complete, parseable prefix of
+// the campaign — never a torn line. Cells are small and campaigns are
+// hundreds of cells, so the rewrite stays far below simulation cost.
+
+// journalEntry is one completed cell on disk.
+type journalEntry struct {
+	// Key is the hex sha256 of the cell's identity: study name, cell
+	// index, and every Options field and study parameter that determines
+	// the result. A config change (packets, trials, seed, scale, recovery,
+	// exponents) changes the key, so stale entries are ignored rather than
+	// resumed into the wrong campaign.
+	Key string `json:"key"`
+	// Study and Index are informational (logs, debugging); lookups go by
+	// Key alone.
+	Study string `json:"study"`
+	Index int    `json:"index"`
+	// Result is the study-specific cell struct, JSON-encoded. float64
+	// fields round-trip bit-exactly through encoding/json's shortest
+	// representation, which is what makes resumed CSVs byte-identical.
+	Result json.RawMessage `json:"result"`
+}
+
+// Journal is a durable record of completed campaign cells. It is safe for
+// concurrent use by the parallel grid workers. The zero value is not
+// usable; open one with OpenJournal.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	entries map[string]json.RawMessage
+	order   []journalEntry // file order, preserved across rewrites
+}
+
+// OpenJournal opens (or creates) the campaign journal at path. With
+// resume, existing entries are loaded and will satisfy matching cells;
+// without it any existing journal content is discarded and the campaign
+// starts fresh. The returned count is the number of entries loaded.
+func OpenJournal(path string, resume bool) (*Journal, int, error) {
+	j := &Journal{path: path, entries: map[string]json.RawMessage{}}
+	if !resume {
+		// Start fresh: truncate any previous campaign's journal now so a
+		// kill before the first completed cell cannot leave stale entries
+		// that a later -resume would trust.
+		if err := atomicio.WriteFile(path, func(io.Writer) error { return nil }); err != nil {
+			return nil, 0, err
+		}
+		return j, 0, nil
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return j, 0, nil // resuming with no journal yet: same as fresh
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close() //lint:errcheck-ok — read-only handle, nothing to flush
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, 0, fmt.Errorf("journal %s:%d: %w", path, line, err)
+		}
+		if e.Key == "" || e.Result == nil {
+			return nil, 0, fmt.Errorf("journal %s:%d: entry missing key or result", path, line)
+		}
+		if _, dup := j.entries[e.Key]; !dup {
+			j.order = append(j.order, e)
+		}
+		j.entries[e.Key] = e.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return j, len(j.entries), nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of recorded cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// lookup decodes the recorded result for key into slot, reporting whether
+// the cell was present. An entry that no longer decodes into the study's
+// cell type (a shape change between versions) is treated as a miss and
+// recomputed rather than failing the campaign.
+func (j *Journal) lookup(key string, slot any) bool {
+	j.mu.Lock()
+	raw, ok := j.entries[key]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, slot) == nil
+}
+
+// record durably appends one completed cell and rewrites the journal
+// atomically, so the on-disk file is a complete campaign prefix at every
+// instant.
+func (j *Journal) record(key, study string, index int, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("journal: encode %s cell %d: %w", study, index, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.entries[key]; !dup {
+		j.order = append(j.order, journalEntry{Key: key, Study: study, Index: index, Result: raw})
+	}
+	j.entries[key] = raw
+	return atomicio.WriteFile(j.path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, e := range j.order {
+			if err := enc.Encode(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// fingerprint derives a cell's journal key: the hex sha256 of a canonical
+// JSON encoding of the study name, cell index, the result-determining
+// Options fields, and the study-specific cell parameters (scheme,
+// setting, thresholds, ...). Context, journal handle, and hooks are
+// excluded — they steer execution, not results.
+func (o Options) fingerprint(study string, index int, extra any) string {
+	id := struct {
+		Study       string
+		Index       int
+		Packets     int
+		Trials      int
+		FaultScale  float64
+		Exponents   any
+		Seed        uint64
+		Recovery    int
+		MaxDropRate float64
+		Extra       any
+	}{
+		Study:       study,
+		Index:       index,
+		Packets:     o.Packets,
+		Trials:      o.Trials,
+		FaultScale:  o.FaultScale,
+		Exponents:   o.Exponents,
+		Seed:        o.Seed,
+		Recovery:    int(o.Recovery),
+		MaxDropRate: o.MaxDropRate,
+		Extra:       extra,
+	}
+	raw, err := json.Marshal(id)
+	if err != nil {
+		// Every Extra passed by the studies is a plain value (strings,
+		// numbers, small structs); failing to encode one is a programming
+		// error, not a runtime condition.
+		panic("experiment: unencodable cell fingerprint: " + err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRecordAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, n, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fresh journal loaded %d entries", n)
+	}
+	type cell struct {
+		A float64
+		B string
+	}
+	if err := j.record("k1", "study", 0, cell{A: 0.1234567890123, B: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.record("k2", "study", 1, cell{A: 2, B: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", j.Len())
+	}
+
+	j2, n, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("resumed %d entries, want 2", n)
+	}
+	var c cell
+	if !j2.lookup("k1", &c) || c.A != 0.1234567890123 || c.B != "x" {
+		t.Fatalf("k1 round-trip: %+v", c)
+	}
+	if j2.lookup("missing", &c) {
+		t.Fatal("lookup of unknown key must miss")
+	}
+
+	// A shape change between versions is a miss, not a failure.
+	var wrong struct{ A []string }
+	if j2.lookup("k1", &wrong) {
+		t.Fatal("incompatible entry shape must be treated as a miss")
+	}
+}
+
+func TestJournalFreshOpenTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.record("k1", "s", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Opening without resume discards the previous campaign on disk
+	// immediately, so a kill before the first new cell cannot leave stale
+	// entries behind.
+	if _, n, err := OpenJournal(path, false); err != nil || n != 0 {
+		t.Fatalf("fresh open: n=%d err=%v", n, err)
+	}
+	if _, n, err := OpenJournal(path, true); err != nil || n != 0 {
+		t.Fatalf("journal not truncated on fresh open: n=%d err=%v", n, err)
+	}
+}
+
+func TestJournalResumeMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.jsonl")
+	j, n, err := OpenJournal(path, true)
+	if err != nil || n != 0 || j == nil {
+		t.Fatalf("resume with no journal yet must start fresh: n=%d err=%v", n, err)
+	}
+}
+
+func TestJournalRejectsMalformedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"key\":\"k\",\"result\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path, true); err == nil || !strings.Contains(err.Error(), ":2") {
+		t.Fatalf("malformed line must fail with its line number, got %v", err)
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := Options{Packets: 100, Trials: 2, Seed: 1}
+	k := base.fingerprint("s", 0, "x")
+	same := base.fingerprint("s", 0, "x")
+	if k != same {
+		t.Fatal("fingerprint must be deterministic")
+	}
+	variants := []string{
+		func() string { o := base; o.Packets = 101; return o.fingerprint("s", 0, "x") }(),
+		func() string { o := base; o.Trials = 3; return o.fingerprint("s", 0, "x") }(),
+		func() string { o := base; o.Seed = 2; return o.fingerprint("s", 0, "x") }(),
+		func() string { o := base; o.FaultScale = 25; return o.fingerprint("s", 0, "x") }(),
+		base.fingerprint("other", 0, "x"),
+		base.fingerprint("s", 1, "x"),
+		base.fingerprint("s", 0, "y"),
+	}
+	seen := map[string]bool{k: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collides with an earlier fingerprint", i)
+		}
+		seen[v] = true
+	}
+}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,15 +24,25 @@ func SetMonitor(m *telemetry.RunMonitor) { gridMonitor.Store(m) }
 // Monitor returns the installed grid monitor, or nil.
 func Monitor() *telemetry.RunMonitor { return gridMonitor.Load() }
 
-// parallelFor runs fn(0..n-1) across GOMAXPROCS workers and returns the
-// first error. Every simulation run is self-contained (its own simulated
-// memory, RNG streams, and recorder), so experiment grids parallelise
-// trivially; results must be written to index-distinct slots by fn.
+// maxJoinedErrors bounds how many distinct cell failures a grid reports.
+// A campaign log should show every failing cell, but a systemic failure
+// (disk full, bad build) would otherwise repeat one message hundreds of
+// times.
+const maxJoinedErrors = 8
+
+// parallelFor runs fn(0..n-1) across GOMAXPROCS workers. Every simulation
+// run is self-contained (its own simulated memory, RNG streams, and
+// recorder), so experiment grids parallelise trivially; results must be
+// written to index-distinct slots by fn.
 //
-// The first error cancels the grid promptly: no new indices are issued,
-// and items already queued to a worker are skipped rather than run. At
-// most one in-flight item per worker executes after the failure.
-func parallelFor(n int, fn func(i int) error) error {
+// The first error — or ctx becoming done — cancels the grid promptly: no
+// new indices are issued, and items already queued to a worker are
+// drained without running (each drained item is counted in the grid
+// monitor). At most one in-flight item per worker executes after the
+// failure. The returned error joins every distinct cell failure observed
+// before the grid stopped, capped at maxJoinedErrors, so one campaign log
+// names every failing cell instead of only the first.
+func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 	mon := Monitor()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -59,27 +71,42 @@ func parallelFor(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		mon.Begin(n, 1)
+		var errs []error
 		for i := 0; i < n; i++ {
+			if len(errs) > 0 || ctx.Err() != nil {
+				mon.RunSkipped()
+				continue
+			}
 			if err := runItem(i); err != nil {
-				return err
+				errs = append(errs, err)
 			}
 		}
-		return nil
+		if len(errs) == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return errors.Join(errs...)
 	}
 	mon.Begin(n, workers)
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		seen map[string]bool
 	)
 	next := make(chan int)
 	done := make(chan struct{})
 	fail := func(err error) {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
+		if errs == nil {
+			seen = map[string]bool{}
 			close(done)
+		}
+		// Deduplicate by message: a systemic failure hits many cells with
+		// the same text, and repeating it drowns the distinct ones.
+		if msg := err.Error(); len(errs) < maxJoinedErrors && !seen[msg] {
+			seen[msg] = true
+			errs = append(errs, err)
 		}
 		mu.Unlock()
 	}
@@ -90,7 +117,11 @@ func parallelFor(n int, fn func(i int) error) error {
 			for i := range next {
 				select {
 				case <-done:
-					continue // drain without running: the grid failed
+					mon.RunSkipped() // drained without running: the grid failed
+					continue
+				case <-ctx.Done():
+					mon.RunSkipped() // drained without running: campaign cancelled
+					continue
 				default:
 				}
 				if err := runItem(i); err != nil {
@@ -105,9 +136,14 @@ feed:
 		case next <- i:
 		case <-done:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	if len(errs) == 0 && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return errors.Join(errs...)
 }

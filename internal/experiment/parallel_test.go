@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -16,7 +18,7 @@ func TestParallelForVisitsEveryIndex(t *testing.T) {
 	defer runtime.GOMAXPROCS(old)
 	const n = 100
 	var hits [n]int32
-	if err := parallelFor(n, func(i int) error {
+	if err := parallelFor(context.Background(), n, func(i int) error {
 		atomic.AddInt32(&hits[i], 1)
 		return nil
 	}); err != nil {
@@ -33,7 +35,7 @@ func TestParallelForPropagatesError(t *testing.T) {
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
 	boom := errors.New("boom")
-	err := parallelFor(50, func(i int) error {
+	err := parallelFor(context.Background(), 50, func(i int) error {
 		if i == 17 {
 			return boom
 		}
@@ -48,7 +50,7 @@ func TestParallelForSerialFallback(t *testing.T) {
 	old := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(old)
 	order := []int{}
-	if err := parallelFor(5, func(i int) error {
+	if err := parallelFor(context.Background(), 5, func(i int) error {
 		order = append(order, i) // safe: serial path
 		return nil
 	}); err != nil {
@@ -62,7 +64,7 @@ func TestParallelForSerialFallback(t *testing.T) {
 }
 
 func TestParallelForZero(t *testing.T) {
-	if err := parallelFor(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := parallelFor(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal("zero-length loop should not invoke fn")
 	}
 }
@@ -78,7 +80,7 @@ func TestParallelForEarlyCancel(t *testing.T) {
 	boom := errors.New("boom")
 	errored := make(chan struct{})
 	var calls atomic.Int32
-	err := parallelFor(n, func(i int) error {
+	err := parallelFor(context.Background(), n, func(i int) error {
 		calls.Add(1)
 		if i == 0 {
 			close(errored)
@@ -105,7 +107,7 @@ func TestParallelForEarlyCancel(t *testing.T) {
 func TestParallelForPanicRecovery(t *testing.T) {
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
-	err := parallelFor(50, func(i int) error {
+	err := parallelFor(context.Background(), 50, func(i int) error {
 		if i == 23 {
 			panic("index out of range [12] with length 4")
 		}
@@ -120,7 +122,7 @@ func TestParallelForPanicRecovery(t *testing.T) {
 	}
 
 	runtime.GOMAXPROCS(1)
-	err = parallelFor(3, func(i int) error {
+	err = parallelFor(context.Background(), 3, func(i int) error {
 		if i == 1 {
 			panic("serial boom")
 		}
@@ -150,7 +152,7 @@ func TestParallelForMonitor(t *testing.T) {
 	defer SetMonitor(nil)
 
 	const n = 64
-	if err := parallelFor(n, func(i int) error {
+	if err := parallelFor(context.Background(), n, func(i int) error {
 		time.Sleep(50 * time.Microsecond)
 		return nil
 	}); err != nil {
@@ -171,5 +173,92 @@ func TestParallelForMonitor(t *testing.T) {
 	}
 	if got := reg.Histogram("experiment.run_ms").Count(); got != n {
 		t.Fatalf("experiment.run_ms count = %d, want %d", got, n)
+	}
+}
+
+// TestParallelForJoinsDistinctErrors: the grid error must name every
+// distinct failing cell (deduplicated, bounded), not just the first.
+func TestParallelForJoinsDistinctErrors(t *testing.T) {
+	old := runtime.GOMAXPROCS(1) // serial path keeps the failure set deterministic
+	defer runtime.GOMAXPROCS(old)
+	errA := errors.New("cell 3: disk full")
+	err := parallelFor(context.Background(), 10, func(i int) error {
+		if i == 3 {
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Parallel path: workers that fail concurrently each contribute one
+	// distinct message; duplicates collapse.
+	runtime.GOMAXPROCS(4)
+	start := make(chan struct{})
+	err = parallelFor(context.Background(), 4, func(i int) error {
+		if i == 0 {
+			close(start)
+		}
+		<-start
+		if i%2 == 0 {
+			return errors.New("same failure")
+		}
+		return fmt.Errorf("distinct failure %d", i)
+	})
+	if err == nil {
+		t.Fatal("failing grid returned nil")
+	}
+	if n := strings.Count(err.Error(), "same failure"); n > 1 {
+		t.Fatalf("duplicate messages not collapsed: %v", err)
+	}
+}
+
+// TestParallelForCancelledContext: a cancelled campaign context stops the
+// grid and surfaces as the context error, with the drained items counted by
+// the monitor. The skip accounting is asserted on the serial path, where
+// the set of never-run items is deterministic.
+func TestParallelForCancelledContext(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	mon := &telemetry.RunMonitor{}
+	SetMonitor(mon)
+	defer SetMonitor(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100
+	var calls atomic.Int32
+	err := parallelFor(ctx, n, func(i int) error {
+		if calls.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("serial path executed %d items after cancellation at the 3rd, want exactly 3", got)
+	}
+	if p := mon.Progress(); p.Skipped != n-3 {
+		t.Fatalf("monitor counted %d skipped items, want %d", p.Skipped, n-3)
+	}
+
+	// Parallel path: cancellation still stops the grid early and returns
+	// the context error (the exact drained count is scheduling-dependent).
+	runtime.GOMAXPROCS(4)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls.Store(0)
+	err = parallelFor(ctx2, n, func(i int) error {
+		if calls.Add(1) == 3 {
+			cancel2()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got >= n {
+		t.Fatalf("all %d items ran despite cancellation", got)
 	}
 }

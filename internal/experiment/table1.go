@@ -22,44 +22,46 @@ type Table1Row struct {
 
 // Table1 reproduces Table I: workload properties from the golden run and
 // fallibility factors at Cr = 0.5 and 0.25 (no detection, faults in both
-// planes, averaged over trials).
+// planes, averaged over trials). Each application is one campaign cell:
+// journaled for resume, deadline-guarded, and retried on host failures.
 func Table1(o Options) ([]Table1Row, error) {
 	o = o.withDefaults()
 	names := apps.Names()
 	rows := make([]Table1Row, len(names))
-	err := parallelFor(len(names), func(ai int) error {
+	err := parallelFor(o.ctx(), len(names), func(ai int) error {
 		name := names[ai]
-		row := Table1Row{App: name}
-		for _, cr := range []float64{0.5, 0.25} {
-			var fall stats.Sample
-			for trial := 0; trial < o.Trials; trial++ {
-				res, err := o.run(clumsy.Config{
-					App:        name,
-					Packets:    o.Packets,
-					Seed:       o.trialSeed(trial),
-					CycleTime:  cr,
-					FaultScale: o.FaultScale,
-				})
-				if err != nil {
-					return fmt.Errorf("table1 %s cr=%v: %w", name, cr, err)
+		return runCell(o, "table1", ai, name, &rows[ai], func() (Table1Row, error) {
+			row := Table1Row{App: name}
+			for _, cr := range []float64{0.5, 0.25} {
+				var fall stats.Sample
+				for trial := 0; trial < o.Trials; trial++ {
+					res, err := o.run(clumsy.Config{
+						App:        name,
+						Packets:    o.Packets,
+						Seed:       o.trialSeed(trial),
+						CycleTime:  cr,
+						FaultScale: o.FaultScale,
+					})
+					if err != nil {
+						return row, fmt.Errorf("table1 %s cr=%v: %w", name, cr, err)
+					}
+					fall.Add(res.Fallibility())
+					if cr == 0.5 && trial == 0 {
+						row.InstrsM = float64(res.GoldenInstrs) / 1e6
+						row.CacheAccessesM = float64(res.GoldenL1DStats.Accesses()) / 1e6
+						row.MissRate = res.GoldenL1DStats.MissRate()
+					}
 				}
-				fall.Add(res.Fallibility())
-				if cr == 0.5 && trial == 0 {
-					row.InstrsM = float64(res.GoldenInstrs) / 1e6
-					row.CacheAccessesM = float64(res.GoldenL1DStats.Accesses()) / 1e6
-					row.MissRate = res.GoldenL1DStats.MissRate()
+				if cr == 0.5 {
+					row.FallibilityC50 = fall.Mean()
+					row.FallibilityC50CI = fall.CI95()
+				} else {
+					row.FallibilityC25 = fall.Mean()
+					row.FallibilityC25CI = fall.CI95()
 				}
 			}
-			if cr == 0.5 {
-				row.FallibilityC50 = fall.Mean()
-				row.FallibilityC50CI = fall.CI95()
-			} else {
-				row.FallibilityC25 = fall.Mean()
-				row.FallibilityC25CI = fall.CI95()
-			}
-		}
-		rows[ai] = row
-		return nil
+			return row, nil
+		})
 	})
 	if err != nil {
 		return nil, err

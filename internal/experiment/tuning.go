@@ -36,46 +36,54 @@ func ExtTuning(app string, o Options) ([]TuningCell, error) {
 	o = o.withDefaults()
 
 	// Baseline: static full frequency with parity (the scheme the dynamic
-	// controller would idle at).
+	// controller would idle at). The baseline is its own journal cell and
+	// runs before the grid, so resumed campaigns recover or recompute the
+	// identical divisor before any swept cell needs it.
 	var baseline float64
-	for trial := 0; trial < o.Trials; trial++ {
-		res, err := o.run(clumsy.Config{
-			App: app, Packets: o.Packets, Seed: o.trialSeed(trial),
-			CycleTime: 1, Detection: cache.DetectionParity, Strikes: 2,
-			FaultScale: o.FaultScale,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("ext-tuning baseline: %w", err)
-		}
-		baseline += res.EDF(o.Exponents)
-	}
-	baseline /= float64(o.Trials)
-
-	cells := make([]TuningCell, len(TuningX1)*len(TuningX2))
-	err := parallelFor(len(cells), func(idx int) error {
-		x1 := TuningX1[idx/len(TuningX2)]
-		x2 := TuningX2[idx%len(TuningX2)]
-		var edfSum, swSum float64
+	if err := runCell(o, "tuning-"+app+"-baseline", 0, nil, &baseline, func() (float64, error) {
+		var sum float64
 		for trial := 0; trial < o.Trials; trial++ {
 			res, err := o.run(clumsy.Config{
 				App: app, Packets: o.Packets, Seed: o.trialSeed(trial),
-				Dynamic: true, X1: x1, X2: x2,
-				Detection: cache.DetectionParity, Strikes: 2,
+				CycleTime: 1, Detection: cache.DetectionParity, Strikes: 2,
 				FaultScale: o.FaultScale,
 			})
 			if err != nil {
-				return fmt.Errorf("ext-tuning x1=%v x2=%v: %w", x1, x2, err)
+				return 0, fmt.Errorf("ext-tuning baseline: %w", err)
 			}
-			edfSum += res.EDF(o.Exponents)
-			swSum += float64(res.Switches)
+			sum += res.EDF(o.Exponents)
 		}
-		cells[idx] = TuningCell{
-			X1:          x1,
-			X2:          x2,
-			RelativeEDF: edfSum / float64(o.Trials) / baseline,
-			Switches:    swSum / float64(o.Trials),
-		}
-		return nil
+		return sum / float64(o.Trials), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	cells := make([]TuningCell, len(TuningX1)*len(TuningX2))
+	err := parallelFor(o.ctx(), len(cells), func(idx int) error {
+		x1 := TuningX1[idx/len(TuningX2)]
+		x2 := TuningX2[idx%len(TuningX2)]
+		return runCell(o, "tuning-"+app, idx, [2]float64{x1, x2}, &cells[idx], func() (TuningCell, error) {
+			var edfSum, swSum float64
+			for trial := 0; trial < o.Trials; trial++ {
+				res, err := o.run(clumsy.Config{
+					App: app, Packets: o.Packets, Seed: o.trialSeed(trial),
+					Dynamic: true, X1: x1, X2: x2,
+					Detection: cache.DetectionParity, Strikes: 2,
+					FaultScale: o.FaultScale,
+				})
+				if err != nil {
+					return TuningCell{}, fmt.Errorf("ext-tuning x1=%v x2=%v: %w", x1, x2, err)
+				}
+				edfSum += res.EDF(o.Exponents)
+				swSum += float64(res.Switches)
+			}
+			return TuningCell{
+				X1:          x1,
+				X2:          x2,
+				RelativeEDF: edfSum / float64(o.Trials) / baseline,
+				Switches:    swSum / float64(o.Trials),
+			}, nil
+		})
 	})
 	if err != nil {
 		return nil, err

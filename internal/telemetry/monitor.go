@@ -9,6 +9,7 @@ import (
 // RunMonitor's OnProgress callback after every completed run.
 type Progress struct {
 	Done    int           // runs completed
+	Skipped int           // runs drained without executing after a grid failure or cancellation
 	Total   int           // runs in the grid
 	Workers int           // parallel workers executing the grid
 	Elapsed time.Duration // wall time since the grid started
@@ -49,6 +50,7 @@ type RunMonitor struct {
 	mu      sync.Mutex
 	total   int
 	done    int
+	skipped int
 	workers int
 	started time.Time
 	busy    time.Duration
@@ -63,6 +65,7 @@ func (m *RunMonitor) Begin(total, workers int) {
 	m.mu.Lock()
 	m.total = total
 	m.done = 0
+	m.skipped = 0
 	m.workers = workers
 	m.started = time.Now() //lint:wallclock-ok — wall-clock progress reporting, never feeds simulated state
 	m.busy = 0
@@ -89,6 +92,18 @@ func (m *RunMonitor) RunDone(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// RunSkipped records one grid item that was drained without executing —
+// after the grid's first failure or a campaign cancellation the remaining
+// queued items are skipped, and a campaign log should say how many.
+func (m *RunMonitor) RunSkipped() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.skipped++
+	m.mu.Unlock()
+}
+
 // Progress returns the current grid progress.
 func (m *RunMonitor) Progress() Progress {
 	if m == nil {
@@ -102,6 +117,7 @@ func (m *RunMonitor) Progress() Progress {
 func (m *RunMonitor) progressLocked() Progress {
 	p := Progress{
 		Done:    m.done,
+		Skipped: m.skipped,
 		Total:   m.total,
 		Workers: m.workers,
 		Busy:    m.busy,

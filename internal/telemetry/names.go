@@ -65,6 +65,10 @@ const (
 	CtrFreqPenaltyCycles       = "freq.penalty_cycles"
 	CtrWatchdogKills           = "watchdog.kills"
 	CtrExperimentRuns          = "experiment.runs"
+	CtrCampaignCellsDone       = "campaign.cells_done"
+	CtrCampaignCellsSkipped    = "campaign.cells_skipped"
+	CtrCampaignCellsRetried    = "campaign.cells_retried"
+	CtrCampaignCellsTimedOut   = "campaign.cells_timed_out"
 )
 
 // Registered histogram names.
@@ -83,6 +87,9 @@ const (
 	EventFreqTransition = "freq_transition"
 	EventPacketDrop     = "packet_drop"
 	EventStateRestore   = "state_restore"
+	EventCampaignResume = "campaign_resume"
+	EventCellRetry      = "cell_retry"
+	EventCellTimeout    = "cell_timeout"
 )
 
 // CacheLevels are the per-level counter families of the memory hierarchy.
@@ -134,6 +141,10 @@ func init() {
 		{CtrFreqPenaltyCycles, KindCounter, "cycles charged for frequency switches"},
 		{CtrWatchdogKills, KindCounter, "packets killed by the instruction-budget watchdog"},
 		{CtrExperimentRuns, KindCounter, "experiment-grid runs completed"},
+		{CtrCampaignCellsDone, KindCounter, "campaign grid cells computed to completion"},
+		{CtrCampaignCellsSkipped, KindCounter, "campaign grid cells satisfied from the resume journal"},
+		{CtrCampaignCellsRetried, KindCounter, "campaign grid cell attempts retried after a transient host failure"},
+		{CtrCampaignCellsTimedOut, KindCounter, "campaign grid cells failed by the per-cell wall-clock deadline"},
 
 		{HistPacketInstructions, KindHistogram, "instructions per completed packet"},
 		{HistPacketCycles, KindHistogram, "cycles per completed packet"},
@@ -146,6 +157,9 @@ func init() {
 		{EventFreqTransition, KindEvent, "one applied dynamic-frequency decision"},
 		{EventPacketDrop, KindEvent, "one packet killed by a fatal error"},
 		{EventStateRestore, KindEvent, "one fault-containment rollback to a packet boundary"},
+		{EventCampaignResume, KindEvent, "campaign resumed from a journal, skipping completed cells"},
+		{EventCellRetry, KindEvent, "one campaign grid cell retried after a transient host failure"},
+		{EventCellTimeout, KindEvent, "one campaign grid cell failed by its wall-clock deadline"},
 	}
 	for _, level := range CacheLevels {
 		for _, ev := range cacheEvents {

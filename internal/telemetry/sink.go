@@ -228,6 +228,47 @@ func (rt *RunTrace) PacketDrop(packet int, reason string) {
 	rt.end(b)
 }
 
+// CampaignResume records that a campaign reattached to a journal and will
+// skip the cells already completed by an earlier (killed or finished)
+// invocation.
+func (rt *RunTrace) CampaignResume(journal string, cells int) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventCampaignResume)
+	b = appendStr(b, "journal", journal)
+	b = appendInt(b, "cells", int64(cells))
+	rt.end(b)
+}
+
+// CellRetry records one retried campaign grid cell: the study and cell
+// index, the attempt number that failed, and the host error that caused
+// the retry (sim-semantic failures are never retried and never get here).
+func (rt *RunTrace) CellRetry(study string, index, attempt int, reason string) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventCellRetry)
+	b = appendStr(b, "study", study)
+	b = appendInt(b, "index", int64(index))
+	b = appendInt(b, "attempt", int64(attempt))
+	b = appendStr(b, "reason", reason)
+	rt.end(b)
+}
+
+// CellTimeout records one campaign grid cell failed by its wall-clock
+// deadline instead of being allowed to wedge the grid.
+func (rt *RunTrace) CellTimeout(study string, index int, seconds float64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventCellTimeout)
+	b = appendStr(b, "study", study)
+	b = appendInt(b, "index", int64(index))
+	b = appendFloat(b, "seconds", seconds)
+	rt.end(b)
+}
+
 // StateRestore records one fault-containment recovery: after dropping the
 // given packet, the control-plane state was rolled back to the last packet
 // boundary by restoring `pages` dirty pages of simulated memory.
