@@ -59,6 +59,7 @@ type cliOpts struct {
 	dynamic     bool
 	parity      bool
 	strikes     int
+	regime      clumsy.FaultRegime
 	recovery    clumsy.RecoveryPolicy
 	maxDropRate float64
 	watchdog    float64
@@ -80,6 +81,7 @@ func (o cliOpts) runConfig() clumsy.Config {
 		Detection:      detectionOf(o.parity),
 		Strikes:        o.strikes,
 		FaultScale:     maxf(o.scale, 1),
+		Regime:         o.regime,
 		Recovery:       o.recovery,
 		MaxDropRate:    o.maxDropRate,
 		WatchdogFactor: o.watchdog,
@@ -105,7 +107,8 @@ func run(args []string, w io.Writer) (err error) {
 	dynamic := fs.Bool("dynamic", false, "use the dynamic frequency controller for run")
 	parity := fs.Bool("parity", false, "enable parity detection for run")
 	strikes := fs.Int("strikes", 1, "recovery strikes under parity for run")
-	recovery := fs.String("recovery", "abort", "fatal-error policy: abort (paper semantics) or drop (contain and continue)")
+	recovery := fs.String("recovery", "abort", "fatal-error policy: abort (paper semantics), drop (contain and continue), or degrade (drop + the escalating recovery ladder)")
+	regime := fs.String("regime", "paper", "fault regime: paper (memoryless), burst (Gilbert-Elliott droop episodes), or permanent (stuck-at cell map)")
 	maxDropRate := fs.Float64("max-drop-rate", 0, "under -recovery drop, abort once this drop fraction is exceeded (0 = unlimited)")
 	watchdog := fs.Float64("watchdog", 0, "per-packet instruction budget as a multiple of the golden worst packet (0 = default 500)")
 	format := fs.String("format", "text", "output format: text or csv (stats: text=Prometheus or json)")
@@ -125,6 +128,10 @@ func run(args []string, w io.Writer) (err error) {
 		return err
 	}
 	policy, err := clumsy.ParseRecoveryPolicy(*recovery)
+	if err != nil {
+		return err
+	}
+	faultRegime, err := clumsy.ParseFaultRegime(*regime)
 	if err != nil {
 		return err
 	}
@@ -166,6 +173,7 @@ func run(args []string, w io.Writer) (err error) {
 		dynamic:     *dynamic,
 		parity:      *parity,
 		strikes:     *strikes,
+		regime:      faultRegime,
 		recovery:    policy,
 		maxDropRate: *maxDropRate,
 		watchdog:    *watchdog,
@@ -423,6 +431,22 @@ func execute(cmd string, o cliOpts, w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+	case "reliability":
+		cells, err := experiment.Reliability(opt)
+		if err != nil {
+			return err
+		}
+		for _, t := range experiment.ReliabilityRender(cells, opt) {
+			if err := emitTable(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		points, err := experiment.ReliabilityCurve(o.app, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.ReliabilityCurveRender(o.app, points, opt))
 	case "trace":
 		return dumpTrace(w, o.app, max(o.packets, 20), max64(o.seed, 1), o.out)
 	case "verify":
@@ -587,12 +611,24 @@ func report(w io.Writer, res *clumsy.Result) error {
 		res.Instrs, res.Cycles, res.Delay, res.Energy.Total())
 	fmt.Fprintf(w, "packets: %d/%d processed, fallibility %.4f, fatal %v\n",
 		res.Report.Processed, res.Report.GoldenPackets, res.Fallibility(), res.Report.Fatal)
-	if cfg.Recovery == clumsy.RecoverDrop {
+	if cfg.Recovery == clumsy.RecoverDrop || cfg.Recovery == clumsy.RecoverDegrade {
 		fmt.Fprintf(w, "containment: %d dropped, %d contained, %d pages restored, drop rate %.5f\n",
 			res.Report.Dropped, res.Contained, res.RestoredPages, res.Report.DropRate())
 		if res.FatalErr != nil {
 			fmt.Fprintf(w, "  run still ended fatally: %v\n", res.FatalErr)
 		}
+	}
+	switch cfg.Regime {
+	case clumsy.RegimeBurst:
+		fmt.Fprintf(w, "burst: %d bad-state episodes\n", res.BurstEpisodes)
+	case clumsy.RegimePermanent:
+		fmt.Fprintf(w, "stuck-at: %d permanent hits, %d intermittent hits\n",
+			res.PermanentHits, res.IntermittentHits)
+	}
+	if res.LinesDisabled > 0 || res.Recovery.LineDisables > 0 || res.SpatialBackoffs > 0 {
+		fmt.Fprintf(w, "ladder: %d lines disabled (%.1f%% capacity dead), %d re-enabled, %d bypass accesses, %d spatial back-offs\n",
+			res.LinesDisabled, res.DisabledFrac*100, res.Recovery.LineReEnables,
+			res.Recovery.Bypasses, res.SpatialBackoffs)
 	}
 	fmt.Fprintf(w, "faults: %d read, %d write; parity errors %d, retries %d, recoveries %d\n",
 		res.Recovery.FaultsOnRead, res.Recovery.FaultsOnWrite,
@@ -693,7 +729,8 @@ experiments:
   all     everything above in paper order
   verify  check the paper's headline claims programmatically (exit 1 on failure)
   run     one simulation (-app -cr -dynamic -parity -strikes -scale
-          -recovery abort|drop -max-drop-rate X -watchdog X [-trace f])
+          -regime paper|burst|permanent -recovery abort|drop|degrade
+          -max-drop-rate X -watchdog X [-trace f])
   stats   one simulation like run, then dump the telemetry counter registry
           (-format text = Prometheus exposition, -format json = JSON;
           -describe prints the registered instrument/event name table)
@@ -709,6 +746,11 @@ extensions (beyond the paper's evaluation; -app selects the workload):
   tuning     dynamic-controller threshold study (the paper's X1/X2 choice)
   media      the claim beyond networking: EDF grid for an IMA ADPCM codec
   extensions all seven extension studies
+  reliability  fault regime x recovery policy sweep over every application
+               (paper/burst/permanent x abort/drop/degrade) plus the
+               graceful-degradation curve: drop rate and IPC vs the
+               force-disabled L1D capacity fraction (-app selects the curve's
+               workload)
 
 common flags: -packets N  -trials N  -scale X  -seed N  -format text|csv
               -out f (write output atomically to f instead of stdout)
@@ -728,11 +770,19 @@ resilient campaigns (any experiment command):
                        and reports partial progress; second force-quits
 
 fault containment (any simulation command):
-  -recovery abort|drop   abort reproduces the paper's measurement semantics
+  -recovery abort|drop|degrade
+                         abort reproduces the paper's measurement semantics
                          (a fatal error ends the run); drop contains fatal
                          errors at packet granularity: the packet is dropped,
                          simulated memory is rolled back to the last packet
-                         boundary, and the run continues
+                         boundary, and the run continues; degrade adds the
+                         escalating recovery ladder on top of drop: k-strike
+                         retry, then per-line disable after repeated strikes,
+                         then strike-informed frequency back-off
+  -regime paper|burst|permanent
+                         fault regime: the paper's memoryless process, the
+                         Gilbert-Elliott burst model (voltage-droop episodes),
+                         or a per-line stuck-at cell map over the paper process
   -max-drop-rate X       under drop, declare the run failed once the dropped
                          fraction of attempted packets exceeds X (0 = never)
   -watchdog X            per-packet instruction budget as a multiple of the

@@ -82,7 +82,10 @@ type Backend interface {
 	StoreLine(addr simmem.Addr, buf []byte) (float64, error)
 }
 
-// line is one cache line with per-word parity.
+// line is one cache line with per-word parity. The dead/strike fields
+// belong to the line-disable recovery action of the L1 data cache; other
+// levels never set them. A dead line is always invalid (disable
+// invalidates it), so the hit path needs no extra check.
 type line struct {
 	valid  bool
 	dirty  bool
@@ -91,6 +94,13 @@ type line struct {
 	parity []byte   // one bit per 32-bit word, LSB used
 	enc    []uint32 // ECC-encoded words (nil unless SEC-DED is enabled)
 	lru    uint64
+
+	dead        bool   // frame disabled: never allocated, accesses bypass to L2
+	pinned      bool   // disabled by experiment control; survives re-enable
+	strikes     uint32 // uncorrected strikes inside the current window
+	strikeTotal uint32 // cumulative uncorrected strikes (histogram)
+	strikeMark  uint64 // access clock at the start of the current window
+	epochMark   uint32 // last controller epoch this frame faulted in
 }
 
 // table is the shared set-associative storage and lookup machinery used by
@@ -144,16 +154,21 @@ func (t *table) lookup(addr simmem.Addr) *line {
 }
 
 // victim returns the way to fill for addr (the invalid way if one exists,
-// otherwise the least recently used way).
+// otherwise the least recently used way). Dead ways are never allocated;
+// when every way of the set is dead, victim returns nil and the access
+// must bypass to the next level.
 func (t *table) victim(addr simmem.Addr) *line {
 	set, _ := t.index(addr)
 	ways := t.sets[set]
-	best := &ways[0]
+	var best *line
 	for w := range ways {
+		if ways[w].dead {
+			continue
+		}
 		if !ways[w].valid {
 			return &ways[w]
 		}
-		if ways[w].lru < best.lru {
+		if best == nil || ways[w].lru < best.lru {
 			best = &ways[w]
 		}
 	}
@@ -194,6 +209,16 @@ type lineState struct {
 	dirty bool
 	tag   uint32
 	lru   uint64
+
+	// Line-disable bookkeeping: rolled back with the contents so a
+	// contained packet drop restores the exact strike map and disabled
+	// set, keeping resumed campaigns byte-identical.
+	dead        bool
+	pinned      bool
+	strikes     uint32
+	strikeTotal uint32
+	strikeMark  uint64
+	epochMark   uint32
 }
 
 // tableSnap is a deep copy of a table's restorable state. Statistics and
@@ -225,7 +250,9 @@ func (t *table) snapshot(snap *tableSnap) *tableSnap {
 	for s := range t.sets {
 		for w := range t.sets[s] {
 			ln := &t.sets[s][w]
-			snap.meta[i] = lineState{valid: ln.valid, dirty: ln.dirty, tag: ln.tag, lru: ln.lru}
+			snap.meta[i] = lineState{valid: ln.valid, dirty: ln.dirty, tag: ln.tag, lru: ln.lru,
+				dead: ln.dead, pinned: ln.pinned, strikes: ln.strikes,
+				strikeTotal: ln.strikeTotal, strikeMark: ln.strikeMark, epochMark: ln.epochMark}
 			copy(snap.data[i*bs:], ln.data)
 			copy(snap.par[i*(bs/4):], ln.parity)
 			if ln.enc != nil {
@@ -252,6 +279,8 @@ func (t *table) restore(snap *tableSnap) {
 			ln := &t.sets[s][w]
 			st := snap.meta[i]
 			ln.valid, ln.dirty, ln.tag, ln.lru = st.valid, st.dirty, st.tag, st.lru
+			ln.dead, ln.pinned, ln.strikes = st.dead, st.pinned, st.strikes
+			ln.strikeTotal, ln.strikeMark, ln.epochMark = st.strikeTotal, st.strikeMark, st.epochMark
 			copy(ln.data, snap.data[i*bs:(i+1)*bs])
 			copy(ln.parity, snap.par[i*(bs/4):(i+1)*(bs/4)])
 			if ln.enc != nil && len(snap.enc) > 0 {

@@ -52,15 +52,15 @@ func (hc HierarchyConfig) withDefaults() HierarchyConfig {
 }
 
 // NewHierarchy assembles the default StrongARM-like hierarchy over space,
-// with the given fault injector, detection scheme and strike count on the
+// with the given fault process, detection scheme and strike count on the
 // L1 data cache.
-func NewHierarchy(space *simmem.Space, inj *fault.Injector, det Detection, strikes int) (*Hierarchy, error) {
+func NewHierarchy(space *simmem.Space, inj fault.Process, det Detection, strikes int) (*Hierarchy, error) {
 	return NewHierarchyWith(space, inj, det, strikes, HierarchyConfig{})
 }
 
 // NewHierarchyWith assembles a hierarchy with explicit cache geometries
 // (used by the geometry ablation experiments).
-func NewHierarchyWith(space *simmem.Space, inj *fault.Injector, det Detection, strikes int, hc HierarchyConfig) (*Hierarchy, error) {
+func NewHierarchyWith(space *simmem.Space, inj fault.Process, det Detection, strikes int, hc HierarchyConfig) (*Hierarchy, error) {
 	hc = hc.withDefaults()
 	mem := NewMainMemory(space, hc.MemLatency)
 	l2, err := NewL2(hc.L2, mem)
@@ -126,6 +126,7 @@ func (h *Hierarchy) RestoreSnapshot(snap *Snapshot) {
 	h.L1D.tab.restore(snap.l1d)
 	h.L1I.tab.restore(snap.l1i)
 	h.L2.tab.restore(snap.l2)
+	h.L1D.syncDisabled()
 }
 
 // InvalidateAll flushes every level without write-back.

@@ -47,6 +47,9 @@ type RecoveryStats struct {
 	Miscorrected  uint64 // >=3-bit faults silently miscorrected by ECC
 	FaultsOnRead  uint64 // fault events injected on the read path
 	FaultsOnWrite uint64 // fault events injected on the write path
+	LineDisables  uint64 // frames disabled after exhausting the strike budget
+	LineReEnables uint64 // frames re-enabled after a frequency drop
+	Bypasses      uint64 // accesses served directly from L2 (all ways dead)
 }
 
 // EnergyWeights accumulate, per access class, the sum of the relative
@@ -67,10 +70,21 @@ type L1Data struct {
 	tab  *table
 	next Backend
 
-	injector  *fault.Injector
+	injector  fault.Process
 	detection Detection
 	strikes   int  // 1, 2, or 3; L1 attempts before recovering via L2
 	subBlock  bool // recover single words from L2 instead of whole lines
+
+	// Line-disable recovery (dormant unless armed via SetLineDisable):
+	// after disableStrikes uncorrected strikes on one frame within
+	// disableWindow accesses, the frame is marked dead and its set
+	// degrades to fewer ways. A frequency drop re-enables dead frames —
+	// the marginal cells that killed them get slower cycles to settle.
+	disableStrikes int    // 0 = line disable off (paper semantics)
+	disableWindow  uint64 // strike window, in L1D accesses
+	deadLines      int    // currently disabled frames
+	epochSeq       uint32 // controller epoch counter for spatial evidence
+	epochDistinct  int    // distinct frames that faulted this epoch
 
 	cr   float64 // relative cycle time of this cache
 	vsr  float64 // relative voltage swing at cr
@@ -93,7 +107,7 @@ type L1Data struct {
 
 // NewL1Data builds the clumsy L1 data cache over next. strikes selects the
 // recovery scheme (1, 2, or 3); it is ignored under DetectionNone.
-func NewL1Data(cfg Config, next Backend, inj *fault.Injector, det Detection, strikes int) (*L1Data, error) {
+func NewL1Data(cfg Config, next Backend, inj fault.Process, det Detection, strikes int) (*L1Data, error) {
 	tab, err := newTable(cfg)
 	if err != nil {
 		return nil, err
@@ -102,7 +116,7 @@ func NewL1Data(cfg Config, next Backend, inj *fault.Injector, det Detection, str
 		strikes = 1
 	}
 	c := &L1Data{tab: tab, next: next, injector: inj, detection: det, strikes: strikes,
-		fill: make([]byte, cfg.BlockSize)}
+		epochSeq: 1, fill: make([]byte, cfg.BlockSize)}
 	if det == DetectionECC {
 		for si := range tab.sets {
 			for w := range tab.sets[si] {
@@ -130,11 +144,169 @@ func (c *L1Data) SetSubBlock(on bool) { c.subBlock = on }
 // SubBlock reports whether sub-block recovery is enabled.
 func (c *L1Data) SubBlock() bool { return c.subBlock }
 
+// SetLineDisable arms per-line strike tracking: after strikes uncorrected
+// strikes on the same frame within window L1D accesses, the frame is
+// disabled and its set degrades to fewer ways (for the direct-mapped L1D,
+// to forced misses served straight from the L2). strikes <= 0 disarms the
+// mechanism — the paper's semantics, and the default.
+func (c *L1Data) SetLineDisable(strikes int, window uint64) {
+	c.disableStrikes = strikes
+	if window == 0 {
+		window = 1 << 62 // effectively unwindowed
+	}
+	c.disableWindow = window
+}
+
+// ForceDisable pins the first ceil(frac * lines) frames dead — the
+// experiment control behind the graceful-degradation curve. Pinned frames
+// are not re-enabled by frequency drops and do not count as disable
+// events; they model capacity lost before the run started.
+func (c *L1Data) ForceDisable(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	total := len(c.tab.sets) * c.tab.cfg.Assoc
+	n := int(frac*float64(total) + 0.999999)
+	if n > total {
+		n = total
+	}
+	marked := 0
+	for s := range c.tab.sets {
+		for w := range c.tab.sets[s] {
+			if marked >= n {
+				return
+			}
+			ln := &c.tab.sets[s][w]
+			if !ln.dead {
+				ln.dead = true
+				ln.pinned = true
+				ln.valid = false
+				ln.dirty = false
+				c.deadLines++
+			}
+			marked++
+		}
+	}
+}
+
+// DisabledLines returns the number of currently disabled frames.
+func (c *L1Data) DisabledLines() int { return c.deadLines }
+
+// DisabledFraction returns the fraction of L1D capacity currently
+// disabled.
+func (c *L1Data) DisabledFraction() float64 {
+	total := len(c.tab.sets) * c.tab.cfg.Assoc
+	if total == 0 {
+		return 0
+	}
+	return float64(c.deadLines) / float64(total)
+}
+
+// StrikeHistogram buckets the frames that took uncorrected strikes by
+// their cumulative strike count: bucket i holds frames with exactly i
+// strikes, the last bucket holds frames with 7 or more. Untouched frames
+// are not counted, so the histogram is all-zero for a strike-free run.
+func (c *L1Data) StrikeHistogram() [8]uint64 {
+	var h [8]uint64
+	for s := range c.tab.sets {
+		for w := range c.tab.sets[s] {
+			b := c.tab.sets[s][w].strikeTotal
+			if b == 0 {
+				continue
+			}
+			if b > 7 {
+				b = 7
+			}
+			h[b]++
+		}
+	}
+	return h
+}
+
+// TakeEpochEvidence returns the spatial evidence of the closing
+// controller epoch — the number of distinct frames that took an
+// uncorrected strike, and the disabled-capacity fraction — and opens the
+// next epoch. The frequency controller consumes it at epoch boundaries.
+func (c *L1Data) TakeEpochEvidence() (distinctLines int, disabledFrac float64) {
+	distinctLines = c.epochDistinct
+	c.epochDistinct = 0
+	c.epochSeq++
+	return distinctLines, c.DisabledFraction()
+}
+
+// noteStrike records an uncorrected strike against a frame and reports
+// whether the frame has exhausted its strike budget and must be disabled.
+// It also feeds the per-epoch spatial evidence, which is tracked even
+// while line disable itself is disarmed (the evidence costs two integer
+// compares on a path that already paid for a detected fault).
+func (c *L1Data) noteStrike(ln *line) bool {
+	if ln.epochMark != c.epochSeq {
+		ln.epochMark = c.epochSeq
+		c.epochDistinct++
+	}
+	ln.strikeTotal++
+	if c.disableStrikes <= 0 {
+		return false
+	}
+	now := c.Stats.Reads + c.Stats.Writes
+	if ln.strikes == 0 || now-ln.strikeMark > c.disableWindow {
+		ln.strikeMark = now
+		ln.strikes = 0
+	}
+	ln.strikes++
+	return int(ln.strikes) >= c.disableStrikes
+}
+
+// disableLine marks an (already invalidated) frame dead.
+func (c *L1Data) disableLine(ln *line, addr simmem.Addr) {
+	ln.dead = true
+	c.deadLines++
+	c.Recovery.LineDisables++
+	if c.rt != nil {
+		c.rt.LineDisable(uint64(addr), int(ln.strikes), c.deadLines)
+	}
+}
+
+// reenableAll returns every non-pinned dead frame to service with a clean
+// strike window. Frames stay invalid (they were invalidated at disable).
+func (c *L1Data) reenableAll() {
+	for s := range c.tab.sets {
+		for w := range c.tab.sets[s] {
+			ln := &c.tab.sets[s][w]
+			if ln.dead && !ln.pinned {
+				ln.dead = false
+				ln.strikes = 0
+				c.deadLines--
+				c.Recovery.LineReEnables++
+			}
+		}
+	}
+}
+
+// syncDisabled recounts the disabled frames after a snapshot restore.
+func (c *L1Data) syncDisabled() {
+	n := 0
+	for s := range c.tab.sets {
+		for w := range c.tab.sets[s] {
+			if c.tab.sets[s][w].dead {
+				n++
+			}
+		}
+	}
+	c.deadLines = n
+}
+
 // SetCycleTime moves the cache (and its fault process) to relative cycle
 // time cr. Latency and per-access energy scale immediately; cached data is
 // unaffected (the paper notes that varying the clock frequency, unlike the
 // supply voltage, requires no cache flush).
 func (c *L1Data) SetCycleTime(cr float64) {
+	if cr > c.cr && c.deadLines > 0 {
+		// Frequency drop: the longer cycle gives the marginal cells that
+		// accumulated strikes a second chance, so dead frames (except
+		// experiment-pinned ones) return to service with a clean window.
+		c.reenableAll()
+	}
 	c.cr = cr
 	c.vsr = circuit.VoltageSwing(cr)
 	// The array access time shrinks with the cycle time, but the
@@ -199,7 +371,9 @@ func (c *L1Data) chargeArrayWrite() {
 //lint:cycle-accounting
 func (c *L1Data) chargeFillDrive() { c.Energy.WriteSwing += c.vsr }
 
-// ensure returns the line containing addr, filling on a miss.
+// ensure returns the line containing addr, filling on a miss. When every
+// way of the set is disabled it returns (nil, nil) after counting the
+// forced miss; the caller serves the access via the L2 bypass path.
 func (c *L1Data) ensure(addr simmem.Addr, isWrite bool) (*line, error) {
 	if ln := c.tab.lookup(addr); ln != nil {
 		return ln, nil
@@ -210,6 +384,9 @@ func (c *L1Data) ensure(addr simmem.Addr, isWrite bool) (*line, error) {
 		c.Stats.ReadMisses++
 	}
 	victim := c.tab.victim(addr)
+	if victim == nil {
+		return nil, nil
+	}
 	if victim.valid && victim.dirty {
 		// A dirty line carries values that may have been corrupted by a
 		// write-path fault; writing it back is the paper's path by which
@@ -265,12 +442,15 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	if ln == nil {
+		return c.bypassReadWord(addr)
+	}
 	w := int(addr) & (c.tab.cfg.BlockSize - 1) &^ 3
 	recoveries := 0
 	for attempt := 1; ; attempt++ {
 		c.chargeArrayRead()
 		stored := leWord(ln.data[w:])
-		mask := uint32(c.injector.Next())
+		mask := uint32(c.injector.NextAt(uint64(addr)))
 		if mask != 0 {
 			c.Recovery.FaultsOnRead++
 			if c.rt != nil {
@@ -323,7 +503,12 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 			}
 			continue
 		}
-		if c.subBlock {
+		// The strikes are exhausted: the fault is uncorrected at this
+		// level. Attribute a strike to the frame; a frame that keeps
+		// collecting them inside the window is disabled rather than
+		// endlessly refetched.
+		disable := c.noteStrike(ln)
+		if c.subBlock && !disable {
 			// Sub-block recovery (footnote 2): refetch only the affected
 			// word from L2; the rest of the line, including dirty
 			// neighbours, stays put and no write-back is needed.
@@ -367,15 +552,50 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 		}
 		ln.valid = false
 		ln.dirty = false
+		if disable {
+			c.disableLine(ln, addr)
+		}
 		ln, err = c.ensure(addr, false)
 		if err != nil {
 			return 0, err
+		}
+		if ln == nil {
+			// The disable emptied the set: serve the word uncached.
+			return c.bypassReadWord(addr)
 		}
 		// The refetched word is read once more through the (still clumsy)
 		// array; the loop continues with fresh parity, so a transient on
 		// this read is detected again rather than silently returned.
 		attempt = 0
 	}
+}
+
+// bypassReadWord serves one aligned word straight from the L2: the access
+// pattern of a set whose every frame is disabled. The broken array is not
+// driven, so no fault is injected and no array energy is charged; the
+// cost is the full L2 round trip on every access.
+func (c *L1Data) bypassReadWord(addr simmem.Addr) (uint32, error) {
+	c.Recovery.Bypasses++
+	var word [4]byte
+	cyc, err := c.next.FetchLine(addr, word[:])
+	if err != nil {
+		return 0, err
+	}
+	c.chargeStall(cyc)
+	return leWord(word[:]), nil
+}
+
+// bypassWriteWord writes one aligned word straight through to the L2.
+func (c *L1Data) bypassWriteWord(addr simmem.Addr, v uint32) error {
+	c.Recovery.Bypasses++
+	var word [4]byte
+	putLeWord(word[:], v)
+	cyc, err := c.next.StoreLine(addr, word[:])
+	if err != nil {
+		return err
+	}
+	c.chargeStall(cyc)
+	return nil
 }
 
 // writeWord performs the clumsy write of the aligned word at addr. The
@@ -388,10 +608,13 @@ func (c *L1Data) writeWord(addr simmem.Addr, v uint32) error {
 	if err != nil {
 		return err
 	}
+	if ln == nil {
+		return c.bypassWriteWord(addr, v)
+	}
 	c.chargeArrayWrite()
 	w := int(addr) & (c.tab.cfg.BlockSize - 1)
 	w &^= 3
-	mask := uint32(c.injector.Next())
+	mask := uint32(c.injector.NextAt(uint64(addr)))
 	if mask != 0 {
 		c.Recovery.FaultsOnWrite++
 		if c.rt != nil {

@@ -37,6 +37,14 @@ func resultBytes(t *testing.T, r *Result) []byte {
 		LevelPackets  []uint64
 		Switches      int
 		Timeline      []FreqEvent
+
+		LinesDisabled    int
+		DisabledFrac     float64
+		StrikeHist       [8]uint64
+		BurstEpisodes    uint64
+		PermanentHits    uint64
+		IntermittentHits uint64
+		SpatialBackoffs  int
 	}{
 		Report:        r.Report,
 		GoldenCycles:  r.GoldenCycles,
@@ -56,6 +64,14 @@ func resultBytes(t *testing.T, r *Result) []byte {
 		LevelPackets:  r.LevelPackets,
 		Switches:      r.Switches,
 		Timeline:      r.Timeline,
+
+		LinesDisabled:    r.LinesDisabled,
+		DisabledFrac:     r.DisabledFrac,
+		StrikeHist:       r.StrikeHist,
+		BurstEpisodes:    r.BurstEpisodes,
+		PermanentHits:    r.PermanentHits,
+		IntermittentHits: r.IntermittentHits,
+		SpatialBackoffs:  r.SpatialBackoffs,
 	})
 	if err != nil {
 		t.Fatalf("marshal result: %v", err)
@@ -83,6 +99,20 @@ func TestRunDeterminism(t *testing.T) {
 			CycleTime: 0.25, Detection: cache.DetectionParity, Strikes: 2, Recovery: RecoverDrop}},
 		{"dynamic", Config{App: "crc", Packets: 300, Seed: 11, FaultScale: 1e3,
 			Dynamic: true, Recovery: RecoverAbort}},
+		{"burst-drop", Config{App: "nat", Packets: 150, Seed: 9, FaultScale: 2e3,
+			CycleTime: 0.25, Recovery: RecoverDrop, Regime: RegimeBurst}},
+		{"burst-degrade", Config{App: "route", Packets: 200, Seed: 7, FaultScale: 5e3,
+			CycleTime: 0.25, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverDegrade, Regime: RegimeBurst}},
+		{"permanent-abort-parity", Config{App: "drr", Packets: 150, Seed: 3, FaultScale: 5e3,
+			CycleTime: 0.25, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverAbort, Regime: RegimePermanent}},
+		{"permanent-degrade-dynamic", Config{App: "crc", Packets: 300, Seed: 11, FaultScale: 1e3,
+			Dynamic: true, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverDegrade, Regime: RegimePermanent, MinDwellEpochs: 2}},
+		{"predisable-degrade", Config{App: "route", Packets: 150, Seed: 5, FaultScale: 2e3,
+			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverDegrade, Regime: RegimePermanent, PreDisableFrac: 0.25}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -99,5 +129,90 @@ func TestRunDeterminism(t *testing.T) {
 				t.Errorf("identical seeded configs diverge:\nfirst:  %s\nsecond: %s", ab, bb)
 			}
 		})
+	}
+}
+
+// TestPaperRegimeLadderDormant is the backward-compatibility contract of
+// the correlated-fault work: under the paper regime with the original
+// policies, every ladder mechanism stays dormant, and spelling the regime
+// out explicitly is byte-identical to the zero-value Config the existing
+// tables are generated from.
+func TestPaperRegimeLadderDormant(t *testing.T) {
+	base := Config{App: "route", Packets: 200, Seed: 7, FaultScale: 2e3,
+		CycleTime: 0.25, Detection: cache.DetectionParity, Strikes: 2, Recovery: RecoverAbort}
+	implicit, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled := base
+	spelled.Regime = RegimePaper
+	explicit, err := Run(spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, implicit), resultBytes(t, explicit)) {
+		t.Error("explicit RegimePaper diverges from the zero-value Config")
+	}
+	r := implicit
+	if r.LinesDisabled != 0 || r.DisabledFrac != 0 || r.SpatialBackoffs != 0 ||
+		r.BurstEpisodes != 0 || r.PermanentHits != 0 || r.IntermittentHits != 0 ||
+		r.Recovery.LineDisables != 0 || r.Recovery.Bypasses != 0 {
+		t.Errorf("ladder acted under the paper regime: %+v", r.Recovery)
+	}
+}
+
+// TestRegimesDiverge pins that the three fault regimes are genuinely
+// different processes from the same seed — in particular that the
+// stuck-at overlay's construction does not silently replay the paper or
+// burst transient stream (a one-draw constructor offset once made burst
+// and permanent byte-identical).
+func TestRegimesDiverge(t *testing.T) {
+	base := Config{App: "nat", Packets: 300, Seed: 9, FaultScale: 1e4,
+		CycleTime: 0.25, Detection: cache.DetectionParity, Strikes: 2, Recovery: RecoverDrop}
+	results := map[FaultRegime]*Result{}
+	for _, regime := range []FaultRegime{RegimePaper, RegimeBurst, RegimePermanent} {
+		cfg := base
+		cfg.Regime = regime
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[regime] = res
+	}
+	if bytes.Equal(resultBytes(t, results[RegimePaper]), resultBytes(t, results[RegimeBurst])) {
+		t.Error("paper and burst regimes are byte-identical")
+	}
+	if bytes.Equal(resultBytes(t, results[RegimePaper]), resultBytes(t, results[RegimePermanent])) {
+		t.Error("paper and permanent regimes are byte-identical")
+	}
+	if bytes.Equal(resultBytes(t, results[RegimeBurst]), resultBytes(t, results[RegimePermanent])) {
+		t.Error("burst and permanent regimes are byte-identical")
+	}
+	if results[RegimePermanent].PermanentHits == 0 {
+		t.Error("no stuck-at hits at Cr=0.25, below every weak cell's threshold")
+	}
+}
+
+// TestPreDisableDegradesGracefully: with half the L1D dead before the run
+// starts, the degrade policy limps on through the bypass path instead of
+// dying — the graceful-degradation curve's existence proof.
+func TestPreDisableDegradesGracefully(t *testing.T) {
+	res, err := Run(Config{App: "route", Packets: 200, Seed: 5, FaultScale: 2e3,
+		CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+		Recovery: RecoverDegrade, Regime: RegimePermanent, PreDisableFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetupDied || res.Report.Fatal {
+		t.Fatalf("half-dead cache was not survivable: setupDied=%v fatal=%v", res.SetupDied, res.Report.Fatal)
+	}
+	if res.DisabledFrac < 0.5 {
+		t.Errorf("DisabledFrac = %g, want >= 0.5 (pre-disabled frames are pinned)", res.DisabledFrac)
+	}
+	if res.Recovery.Bypasses == 0 {
+		t.Error("no bypass accesses despite half the cache being dead")
+	}
+	if res.Report.Processed == 0 {
+		t.Error("no packets completed")
 	}
 }

@@ -60,13 +60,25 @@ const (
 	// last packet boundary from the checkpoint, and the run continues with
 	// the next packet.
 	RecoverDrop
+	// RecoverDegrade is RecoverDrop plus the escalating recovery ladder:
+	// per-line strike tracking disables frames that keep faulting
+	// (correlated and permanent faults k-strike retry can never clear),
+	// and under the dynamic scheme the frequency controller receives
+	// spatial evidence — distinct faulting lines per epoch and the
+	// disabled-capacity fraction — and backs the operating point off when
+	// faults stop looking like independent transients.
+	RecoverDegrade
 )
 
 func (p RecoveryPolicy) String() string {
-	if p == RecoverDrop {
+	switch p {
+	case RecoverDrop:
 		return "drop"
+	case RecoverDegrade:
+		return "degrade"
+	default:
+		return "abort"
 	}
-	return "abort"
 }
 
 // ParseRecoveryPolicy parses the CLI spelling of a policy.
@@ -76,10 +88,71 @@ func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
 		return RecoverAbort, nil
 	case "drop":
 		return RecoverDrop, nil
+	case "degrade":
+		return RecoverDegrade, nil
 	default:
-		return RecoverAbort, fmt.Errorf("clumsy: unknown recovery policy %q (want abort or drop)", s)
+		return RecoverAbort, fmt.Errorf("clumsy: unknown recovery policy %q (want abort, drop, or degrade)", s)
 	}
 }
+
+// FaultRegime selects the statistical structure of the injected faults.
+type FaultRegime int
+
+const (
+	// RegimePaper is the memoryless per-access Bernoulli process of
+	// Section 3 — the default, and the regime behind every paper-fidelity
+	// table and figure.
+	RegimePaper FaultRegime = iota
+	// RegimeBurst is the Gilbert–Elliott two-state process: voltage-droop
+	// or thermal episodes multiply the base fault rate for short
+	// stretches of accesses.
+	RegimeBurst
+	// RegimePermanent layers a per-line stuck-at fault map over the paper
+	// process: marginal cells fault on every access once Cr drops below
+	// their per-cell critical cycle time.
+	RegimePermanent
+)
+
+func (r FaultRegime) String() string {
+	switch r {
+	case RegimeBurst:
+		return "burst"
+	case RegimePermanent:
+		return "permanent"
+	default:
+		return "paper"
+	}
+}
+
+// ParseFaultRegime parses the CLI spelling of a fault regime.
+func ParseFaultRegime(s string) (FaultRegime, error) {
+	switch s {
+	case "", "paper":
+		return RegimePaper, nil
+	case "burst":
+		return RegimeBurst, nil
+	case "permanent":
+		return RegimePermanent, nil
+	default:
+		return RegimePaper, fmt.Errorf("clumsy: unknown fault regime %q (want paper, burst, or permanent)", s)
+	}
+}
+
+// Recovery-ladder defaults, in force when RecoverDegrade leaves the
+// corresponding Config knob at zero.
+const (
+	// DefaultLineDisableStrikes is the per-frame strike budget S: the
+	// S-th uncorrected strike on one frame inside the window disables it.
+	DefaultLineDisableStrikes = 3
+	// DefaultLineDisableWindow is the strike window in L1D accesses.
+	DefaultLineDisableWindow = 4096
+	// DefaultSpatialLines is the per-epoch distinct-faulting-lines bound
+	// beyond which the controller forces a slow-down.
+	DefaultSpatialLines = 8
+	// DefaultSpatialDisabledFrac is the disabled-capacity fraction beyond
+	// which the controller forces a slow-down.
+	DefaultSpatialDisabledFrac = 0.125
+)
 
 // ErrAppPanic marks a Go panic raised by an application while processing a
 // packet — typically an out-of-range slice index or similar computed from
@@ -115,6 +188,30 @@ type Config struct {
 
 	FaultScale float64 // multiplier on the physical fault rate (1 = paper)
 	Planes     Planes  // which planes receive faults
+
+	// Regime selects the fault process of the faulty run: the paper's
+	// memoryless process (the default), Gilbert–Elliott bursts, or the
+	// permanent/intermittent stuck-at overlay.
+	Regime FaultRegime
+
+	// LineDisableStrikes arms per-line strike tracking: after this many
+	// uncorrected strikes on one frame within LineDisableWindow L1D
+	// accesses, the frame is disabled. Zero leaves the mechanism off
+	// unless Recovery is RecoverDegrade, which falls back to
+	// DefaultLineDisableStrikes/DefaultLineDisableWindow.
+	LineDisableStrikes int
+	LineDisableWindow  uint64
+
+	// PreDisableFrac force-disables this fraction of L1D frames before
+	// the faulty run starts — the x-axis control of the graceful-
+	// degradation curve. The frames are pinned: frequency drops do not
+	// re-enable them.
+	PreDisableFrac float64
+
+	// MinDwellEpochs, under the dynamic scheme, is the minimum number of
+	// controller epochs between applied operating-point changes. Zero
+	// (the default) keeps the paper's undamped semantics.
+	MinDwellEpochs int
 
 	// WatchdogFactor bounds per-packet instructions at this multiple of
 	// the golden run's worst packet. A stuck execution (the paper's
@@ -199,6 +296,15 @@ type Result struct {
 	// Fault-containment bookkeeping (RecoverDrop runs; zero under abort).
 	Contained     int    // fatal errors contained as packet drops
 	RestoredPages uint64 // checkpoint pages rolled back across all drops
+
+	// Recovery-ladder bookkeeping (zero while the ladder is dormant).
+	LinesDisabled    int       // L1D frames dead at run end
+	DisabledFrac     float64   // fraction of L1D capacity dead at run end
+	StrikeHist       [8]uint64 // frames bucketed by cumulative strikes (7 = 7+)
+	BurstEpisodes    uint64    // bad-state episodes of the burst regime
+	PermanentHits    uint64    // stuck-at faults below the critical cycle time
+	IntermittentHits uint64    // stuck-at faults inside the intermittent band
+	SpatialBackoffs  int       // slow-downs forced by spatial evidence
 
 	Report metrics.Report
 
@@ -289,6 +395,13 @@ func RunWithTrace(cfg Config, trace *packet.Trace) (*Result, error) {
 	res.SetupDied = faulty.setupDied
 	res.Contained = faulty.contained
 	res.RestoredPages = faulty.restoredPages
+	res.LinesDisabled = faulty.linesDisabled
+	res.DisabledFrac = faulty.disabledFrac
+	res.StrikeHist = faulty.strikeHist
+	res.BurstEpisodes = faulty.burstEpisodes
+	res.PermanentHits = faulty.permanentHits
+	res.IntermittentHits = faulty.intermittentHits
+	res.SpatialBackoffs = faulty.spatialBackoffs
 	res.LevelPackets = faulty.levelPackets
 	res.Switches = faulty.switches
 	res.Timeline = faulty.timeline
@@ -334,6 +447,15 @@ type onceResult struct {
 	contained     int
 	restoredPages uint64
 	watchdogKills int
+
+	// Recovery-ladder accounting (zero while the ladder is dormant).
+	linesDisabled    int
+	disabledFrac     float64
+	strikeHist       [8]uint64
+	burstEpisodes    uint64
+	permanentHits    uint64
+	intermittentHits uint64
+	spatialBackoffs  int
 }
 
 // appBlocks is the size of the synthetic code segment, comfortably above
@@ -351,20 +473,61 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 	if inj != nil {
 		scale = inj.scale
 	}
+	// The fault process. Every regime forks the injector stream off the
+	// seed with the same label, so the paper regime consumes the RNG
+	// exactly as it always has — bit-for-bit reproduction of the existing
+	// tables is part of the contract. The stuck-at map draws from its own
+	// fork so seeding it never perturbs the transient stream.
 	model := fault.NewModel(scale)
-	injector := fault.NewInjector(model, fault.NewRNG(cfg.Seed).Fork(0xfa17), 32)
-	injector.SetEnabled(false)
+	seedRNG := fault.NewRNG(cfg.Seed)
+	var proc fault.Process
+	var burst *fault.Burst
+	var stuck *fault.StuckAt
+	switch cfg.Regime {
+	case RegimeBurst:
+		burst = fault.NewBurst(model, seedRNG.Fork(0xfa17), 32, fault.DefaultBurstParams())
+		proc = burst
+	case RegimePermanent:
+		inner := fault.NewInjector(model, seedRNG.Fork(0xfa17), 32)
+		l1dBytes := cfg.L1DSize
+		if l1dBytes == 0 {
+			l1dBytes = cache.DefaultL1D.SizeBytes
+		}
+		stuck = fault.NewStuckAt(inner, seedRNG.Fork(0x57ac), l1dBytes/4, fault.DefaultStuckAtParams())
+		proc = stuck
+	default:
+		proc = fault.NewInjector(model, seedRNG.Fork(0xfa17), 32)
+	}
+	proc.SetEnabled(false)
 
 	var hc cache.HierarchyConfig
 	if cfg.L1DSize != 0 {
 		hc.L1D = cache.DefaultL1D
 		hc.L1D.SizeBytes = cfg.L1DSize
 	}
-	h, err := cache.NewHierarchyWith(space, injector, cfg.Detection, cfg.Strikes, hc)
+	h, err := cache.NewHierarchyWith(space, proc, cfg.Detection, cfg.Strikes, hc)
 	if err != nil {
 		return nil, err
 	}
 	h.L1D.SetSubBlock(cfg.SubBlock)
+	if inj != nil {
+		// Arm the line-disable rung of the recovery ladder. It stays
+		// dormant (the paper's semantics) unless explicitly configured or
+		// running under the degrade policy.
+		strikes, window := cfg.LineDisableStrikes, cfg.LineDisableWindow
+		if strikes == 0 && cfg.Recovery == RecoverDegrade {
+			strikes = DefaultLineDisableStrikes
+		}
+		if strikes > 0 {
+			if window == 0 {
+				window = DefaultLineDisableWindow
+			}
+			h.L1D.SetLineDisable(strikes, window)
+		}
+		if cfg.PreDisableFrac > 0 {
+			h.L1D.ForceDisable(cfg.PreDisableFrac)
+		}
+	}
 	eng, err := newEngine(h, appBlocks)
 	if err != nil {
 		return nil, err
@@ -384,6 +547,16 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 		h.L1D.SetTelemetry(rt)
 		rt.RunStart(cfg.App, cfg.Packets, cfg.Seed, cfg.CycleTime, cfg.Dynamic,
 			cfg.Detection.String(), cfg.Strikes, cfg.FaultScale)
+		if burst != nil {
+			b, t := burst, rt
+			b.OnTransition = func(bad bool) {
+				if bad {
+					t.BurstEnter(b.Episodes)
+				} else {
+					t.BurstExit(b.Episodes)
+				}
+			}
+		}
 	}
 
 	var ctrl *freqctl.Controller
@@ -407,6 +580,16 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			if tel != nil {
 				wireFreqTelemetry(ctrl, tel.Registry)
 			}
+			if cfg.MinDwellEpochs > 0 {
+				ctrl.SetMinDwell(cfg.MinDwellEpochs)
+			}
+			if cfg.Recovery == RecoverDegrade {
+				// Top rung of the ladder: the controller sees spatial
+				// evidence and backs off when faults spread across lines
+				// or eat capacity faster than line disable can contain.
+				ctrl.SetSpatialPolicy(DefaultSpatialLines, DefaultSpatialDisabledFrac)
+				ctrl.SpatialEvidence = h.L1D.TakeEpochEvidence
+			}
 			h.L1D.SetCycleTime(ctrl.CycleTime())
 		} else {
 			h.L1D.SetCycleTime(cfg.CycleTime)
@@ -427,7 +610,7 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 	// is only taken once Setup has produced a state worth preserving (a
 	// real router would rebuild its tables, not roll them back).
 	if inj != nil && inj.planes&PlaneControl != 0 {
-		injector.SetEnabled(true)
+		proc.SetEnabled(true)
 	}
 	if err := runSetup(app, ctx, trace); err != nil {
 		if !isFatal(err) {
@@ -440,11 +623,12 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			out.watchdogKills++
 		}
 		rt.PacketDrop(-1, dropReason(err)) // died during the control plane
+		captureLadder(out, h, burst, stuck, ctrl)
 		finish(out, eng, h, cfg, ctrl, 0, 0)
 		finishTelemetry(tel, rt, out, eng, h, ctrl, 0)
 		return out, nil
 	}
-	injector.SetEnabled(false)
+	proc.SetEnabled(false)
 	rec.BeginPackets()
 	setupCycles := eng.totalCycles()
 
@@ -458,7 +642,7 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 	// fatal errors identical to abort-policy runs.
 	var ckpt *simmem.Checkpoint
 	var cacheState *cache.Snapshot
-	if inj != nil && cfg.Recovery == RecoverDrop {
+	if inj != nil && cfg.Recovery != RecoverAbort {
 		ckpt = space.NewCheckpoint()
 		defer ckpt.Release()
 		cacheState = h.Snapshot(nil)
@@ -466,7 +650,7 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 
 	// Data plane.
 	if inj != nil && inj.planes&PlaneData != 0 {
-		injector.SetEnabled(true)
+		proc.SetEnabled(true)
 	}
 	eng.budget = budget
 	parityMark := uint64(0)
@@ -558,9 +742,30 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			}
 		}
 	}
+	captureLadder(out, h, burst, stuck, ctrl)
 	finish(out, eng, h, cfg, ctrl, setupCycles, processed)
 	finishTelemetry(tel, rt, out, eng, h, ctrl, processed)
 	return out, nil
+}
+
+// captureLadder folds the recovery-ladder state of the run — disabled
+// capacity, strike histogram, and the regime- and controller-specific
+// counters — into the result. Every field is zero while the ladder and
+// the new regimes are dormant, so paper-fidelity results are unchanged.
+func captureLadder(out *onceResult, h *cache.Hierarchy, burst *fault.Burst, stuck *fault.StuckAt, ctrl *freqctl.Controller) {
+	out.linesDisabled = h.L1D.DisabledLines()
+	out.disabledFrac = h.L1D.DisabledFraction()
+	out.strikeHist = h.L1D.StrikeHistogram()
+	if burst != nil {
+		out.burstEpisodes = burst.Episodes
+	}
+	if stuck != nil {
+		out.permanentHits = stuck.PermanentHits
+		out.intermittentHits = stuck.IntermittentHits
+	}
+	if ctrl != nil {
+		out.spatialBackoffs = ctrl.SpatialBackoffs
+	}
 }
 
 // runSetup executes the application's control plane with panic isolation:

@@ -88,6 +88,24 @@ func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *once
 	reg.Counter(telemetry.CtrRecoveryECCCorrected).Add(rec.Corrected)
 	reg.Counter(telemetry.CtrRecoveryECCMiscorrected).Add(rec.Miscorrected)
 
+	// Recovery-ladder and correlated-regime counters; all zero (and the
+	// flushes skipped) while the ladder and the new regimes are dormant.
+	if rec.LineDisables > 0 {
+		reg.Counter(telemetry.CtrRecoveryLineDisabled).Add(rec.LineDisables)
+	}
+	if out.linesDisabled > 0 {
+		reg.Counter(telemetry.CtrCacheL1DLinesDisabled).Add(uint64(out.linesDisabled))
+	}
+	if out.burstEpisodes > 0 {
+		reg.Counter(telemetry.CtrFaultBurstEpisodes).Add(out.burstEpisodes)
+	}
+	if out.permanentHits > 0 {
+		reg.Counter(telemetry.CtrFaultPermanentHits).Add(out.permanentHits)
+	}
+	if esc := rec.LineDisables + uint64(out.spatialBackoffs); esc > 0 {
+		reg.Counter(telemetry.CtrRecoveryEscalations).Add(esc)
+	}
+
 	if ctrl != nil {
 		reg.Counter(telemetry.CtrFreqSwitches).Add(uint64(ctrl.Switches))
 		reg.Counter(telemetry.CtrFreqPenaltyCycles).Add(uint64(ctrl.PenaltyCycles))

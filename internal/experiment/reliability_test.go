@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"clumsy/internal/apps"
+)
+
+// renderReliability renders the full sweep (all regime tables) as CSV for
+// byte-comparison.
+func renderReliability(t *testing.T, cells []ReliabilityCell, o Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, table := range ReliabilityRender(cells, o) {
+		if err := table.RenderCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReliabilitySweepSmall: a small sweep populates every application x
+// regime x policy cell with sane values, and the regimes are not clones of
+// one another.
+func TestReliabilitySweepSmall(t *testing.T) {
+	o := Options{Packets: 60, Trials: 1}
+	cells, err := Reliability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := apps.Names()
+	if want := len(names) * len(Regimes()) * len(Policies()); len(cells) != want {
+		t.Fatalf("sweep returned %d cells, want %d", len(cells), want)
+	}
+	for _, app := range names {
+		for _, regime := range Regimes() {
+			for _, pol := range Policies() {
+				c := reliabilityCell(cells, app, regime.String(), pol.String())
+				if c == nil {
+					t.Fatalf("missing cell %s/%s/%s", app, regime, pol)
+				}
+				if c.RelEDF <= 0 {
+					t.Errorf("%s/%s/%s: RelEDF = %g, want > 0", app, regime, pol, c.RelEDF)
+				}
+				if c.DropRate < 0 || c.DropRate > 1 || c.DisabledFrac < 0 || c.DisabledFrac > 1 {
+					t.Errorf("%s/%s/%s: rates out of range: %+v", app, regime, pol, c)
+				}
+			}
+		}
+	}
+	// (Stuck-at hits need the operating point below the weak cells'
+	// 0.3 minimum threshold; a 60-packet dynamic run never completes a
+	// 100-packet epoch, so no cell slows down that far here. Regime
+	// divergence is pinned by TestRegimesDiverge in internal/clumsy.)
+	if got := len(ReliabilityRender(cells, o)); got != len(Regimes()) {
+		t.Fatalf("render produced %d tables, want %d", got, len(Regimes()))
+	}
+}
+
+// TestReliabilityResumeByteIdentical: the reliability sweep cancelled
+// mid-grid and resumed from its journal renders byte-identically to an
+// uninterrupted run, recomputing only the missing cells.
+func TestReliabilityResumeByteIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reliability.jsonl")
+	o := Options{Packets: 60, Trials: 1}
+
+	ref, err := Reliability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV := renderReliability(t, ref, o)
+
+	j, _, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	oi := o
+	oi.Ctx = ctx
+	oi.Journal = j
+	var computed atomic.Int32
+	oi.afterCell = func(string, int) {
+		if computed.Add(1) == 5 {
+			cancel()
+		}
+	}
+	if _, err := Reliability(oi); err == nil {
+		t.Fatal("cancelled sweep must report an error")
+	}
+
+	jr, loaded, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(apps.Names()) * len(Regimes()) * len(Policies())
+	if loaded < 5 || loaded >= total {
+		t.Fatalf("journal holds %d of %d cells; want a partial sweep", loaded, total)
+	}
+
+	or := o
+	or.Journal = jr
+	var recomputed atomic.Int32
+	or.afterCell = func(string, int) { recomputed.Add(1) }
+	res, err := Reliability(or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(recomputed.Load()), total-loaded; got != want {
+		t.Fatalf("resume recomputed %d cells, want %d (journal held %d)", got, want, loaded)
+	}
+	if gotCSV := renderReliability(t, res, o); !bytes.Equal(refCSV, gotCSV) {
+		t.Fatalf("resumed sweep rendered differently:\n--- uninterrupted ---\n%s--- resumed ---\n%s",
+			refCSV, gotCSV)
+	}
+}
+
+// TestReliabilityCurveSmall: the graceful-degradation curve honours the
+// requested pre-disabled fractions and keeps producing forward progress as
+// the cache shrinks.
+func TestReliabilityCurveSmall(t *testing.T) {
+	o := Options{Packets: 60, Trials: 1}
+	points, err := ReliabilityCurve("crc", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(CurveFracs) {
+		t.Fatalf("curve has %d points, want %d", len(points), len(CurveFracs))
+	}
+	for i, p := range points {
+		if p.Frac != CurveFracs[i] {
+			t.Errorf("point %d: frac %g, want %g", i, p.Frac, CurveFracs[i])
+		}
+		// Pre-disabled frames are pinned: the realised dead fraction can
+		// only exceed the request (strike disables add to it).
+		if p.DisabledFrac < p.Frac {
+			t.Errorf("point %d: realised disabled fraction %g below requested %g", i, p.DisabledFrac, p.Frac)
+		}
+		if p.IPC <= 0 {
+			t.Errorf("point %d: IPC = %g, want > 0", i, p.IPC)
+		}
+		if p.RelEDF <= 0 {
+			t.Errorf("point %d: RelEDF = %g, want > 0", i, p.RelEDF)
+		}
+	}
+	if table := ReliabilityCurveRender("crc", points, o); len(table.Rows) != len(points) {
+		t.Fatalf("curve table has %d rows, want %d", len(table.Rows), len(points))
+	}
+}

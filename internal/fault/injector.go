@@ -1,7 +1,5 @@
 package fault
 
-import "math"
-
 // Injector realises the fault process for a stream of fixed-width cache
 // accesses. Instead of drawing a Bernoulli sample per access, it draws the
 // gap to the next faulty access from the geometric distribution — an exact
@@ -58,26 +56,14 @@ func (in *Injector) SetEnabled(on bool) { in.enabled = on }
 func (in *Injector) Enabled() bool { return in.enabled }
 
 func (in *Injector) redraw() {
-	if in.rate <= 0 {
-		in.skip = math.MaxInt64
-		return
-	}
-	if in.rate >= 1 {
-		in.skip = 0
-		return
-	}
-	u := in.rng.Float64()
-	for u == 0 {
-		u = in.rng.Float64()
-	}
 	// Number of fault-free accesses before the next fault: geometric.
-	g := math.Floor(math.Log(u) / math.Log(1-in.rate))
-	if g >= math.MaxInt64 || g < 0 {
-		in.skip = math.MaxInt64
-		return
-	}
-	in.skip = int64(g)
+	in.skip = geometricGap(in.rng, in.rate)
 }
+
+// NextAt advances the fault process by one access and returns the fault
+// mask. The paper's process is address-blind; NextAt exists to satisfy
+// the Process interface.
+func (in *Injector) NextAt(addr uint64) uint64 { return in.Next() }
 
 // Next advances the fault process by one access and returns the fault mask
 // to XOR into the accessed word: zero for the overwhelming majority of
@@ -94,24 +80,7 @@ func (in *Injector) Next() uint64 {
 	}
 	in.redraw()
 	in.Events++
-
-	// Choose the multiplicity of the event.
-	n := 1
-	u := in.rng.Float64() * (1 + DoubleBitRatio + TripleBitRatio)
-	switch {
-	case u > 1+DoubleBitRatio:
-		n = 3
-	case u > 1:
-		n = 2
-	}
-	var mask uint64
-	for flipped := 0; flipped < n; {
-		b := uint(in.rng.Intn(in.bits))
-		if mask&(1<<b) == 0 {
-			mask |= 1 << b
-			flipped++
-		}
-	}
+	mask, n := drawMask(in.rng, in.bits)
 	in.BitFlips += uint64(n)
 	return mask
 }

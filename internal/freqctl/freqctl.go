@@ -65,6 +65,32 @@ type Controller struct {
 	cooldown      int
 	sinceSlowdown int
 
+	// Minimum dwell (opt-in, default 0 = paper semantics): an operating-
+	// point change is applied only when at least minDwell epochs have
+	// passed since the last applied change. Suppressed decisions still
+	// update the adaptation rule's reference state, so the dwelled
+	// controller tracks the undamped one with a delay instead of
+	// diverging.
+	minDwell    int
+	sinceChange int
+
+	// Spatial escalation (opt-in): at each epoch boundary the controller
+	// consults SpatialEvidence and forces a slow-down when the epoch saw
+	// more than spatialLines distinct faulting lines or the disabled-
+	// capacity fraction exceeds spatialFrac. This is the top rung of the
+	// recovery ladder: faults spread across many lines (or eating the
+	// cache) are an operating-point problem, not a per-line one.
+	spatialLines int
+	spatialFrac  float64
+
+	// SpatialEvidence, if non-nil, is invoked once per epoch boundary and
+	// returns the distinct faulting lines of the closing epoch and the
+	// currently disabled capacity fraction.
+	SpatialEvidence func() (distinctLines int, disabledFrac float64)
+
+	// SpatialBackoffs counts slow-downs forced by spatial evidence.
+	SpatialBackoffs int
+
 	// OnDecision, if non-nil, observes every epoch-boundary evaluation:
 	// the decision taken, whether the operating point changed, and the
 	// cycle time in force after the decision. The telemetry layer hooks
@@ -129,6 +155,28 @@ func NewWith(levels []float64, epochPackets int, x1, x2, switchPenalty float64) 
 // CycleTime returns the currently selected relative cycle time.
 func (c *Controller) CycleTime() float64 { return c.levels[c.idx] }
 
+// SetMinDwell sets the minimum number of epochs between applied
+// operating-point changes. Zero (the default) restores the paper's
+// undamped semantics. The first change of a run is never suppressed.
+func (c *Controller) SetMinDwell(epochs int) {
+	if epochs < 0 {
+		epochs = 0
+	}
+	c.minDwell = epochs
+	c.sinceChange = epochs
+}
+
+// MinDwell returns the configured minimum dwell.
+func (c *Controller) MinDwell() int { return c.minDwell }
+
+// SetSpatialPolicy arms the spatial escalation triggers: maxLines bounds
+// the distinct faulting lines per epoch, maxFrac the disabled-capacity
+// fraction. A zero value disables the corresponding trigger.
+func (c *Controller) SetSpatialPolicy(maxLines int, maxFrac float64) {
+	c.spatialLines = maxLines
+	c.spatialFrac = maxFrac
+}
+
 // PacketDone records the completion of one packet during which faults
 // parity failures were observed. At epoch boundaries it evaluates the
 // adaptation rule; it returns the decision taken and whether the operating
@@ -147,56 +195,99 @@ func (c *Controller) PacketDone(faults uint64) (Decision, bool) {
 	c.faultsInEpoch = 0
 	c.sinceSlowdown++
 
+	// Spatial evidence is consumed every epoch (whether or not it forces
+	// anything) so the evidence provider's per-epoch window stays aligned
+	// with the controller's.
+	var spatialLines int
+	var spatialFrac float64
+	if c.SpatialEvidence != nil {
+		spatialLines, spatialFrac = c.SpatialEvidence()
+	}
+
 	decision := Keep
-	switch {
-	case observed == 0:
-		// A fault-free epoch: there is nothing to lose by probing the
-		// next faster level.
-		if c.idx < len(c.levels)-1 && c.sinceSlowdown >= c.cooldown {
-			decision = SpeedUp
-		}
-	case !c.primed:
-		// First faulty epoch: record the reference rate of the current
-		// operating point instead of comparing against an empty history.
-		c.storedFaults = observed
-		c.primed = true
-	case float64(observed) > c.x1*float64(c.storedFaults):
-		// Too many faults relative to the last stable point: back off.
-		if c.idx > 0 {
-			decision = SlowDown
-		}
-	case float64(observed) < c.x2*float64(c.storedFaults):
-		// Comfortably below the stored rate: try the next faster level.
-		if c.idx < len(c.levels)-1 && c.sinceSlowdown >= c.cooldown {
-			decision = SpeedUp
+	spatial := false
+	if c.idx > 0 &&
+		((c.spatialLines > 0 && spatialLines > c.spatialLines) ||
+			(c.spatialFrac > 0 && spatialFrac > c.spatialFrac)) {
+		// Faults are spread across many lines or have disabled a chunk of
+		// the cache: escalate past the per-line actions and back the
+		// operating point off regardless of the count-based rule.
+		decision = SlowDown
+		spatial = true
+	} else {
+		switch {
+		case observed == 0:
+			// A fault-free epoch: there is nothing to lose by probing the
+			// next faster level.
+			if c.idx < len(c.levels)-1 && c.sinceSlowdown >= c.cooldown {
+				decision = SpeedUp
+			}
+		case !c.primed:
+			// First faulty epoch: record the reference rate of the current
+			// operating point instead of comparing against an empty history.
+			c.storedFaults = observed
+			c.primed = true
+		case float64(observed) > c.x1*float64(c.storedFaults):
+			// Too many faults relative to the last stable point: back off.
+			if c.idx > 0 {
+				decision = SlowDown
+			}
+		case float64(observed) < c.x2*float64(c.storedFaults):
+			// Comfortably below the stored rate: try the next faster level.
+			if c.idx < len(c.levels)-1 && c.sinceSlowdown >= c.cooldown {
+				decision = SpeedUp
+			}
 		}
 	}
 
-	switch decision {
-	case SlowDown:
-		c.idx--
-		// Exponential back-off on re-probing the level that just failed.
+	if decision == Keep {
+		c.sinceChange++
+		if c.OnDecision != nil {
+			c.OnDecision(Keep, false, c.CycleTime())
+		}
+		return Keep, false
+	}
+
+	// The rule state advances for every non-Keep decision, applied or
+	// dwell-suppressed: the stored reference is the previous epoch's fault
+	// count (Section 4), clamped to one so a zero reference cannot wedge
+	// the comparison, and a slow-down decision arms the exponential
+	// re-probe back-off. Mirroring this state on suppressed decisions keeps
+	// the dwelled rule identical to the undamped one: while the operating
+	// points agree the two controllers emit the same decisions and differ
+	// only in which of them they apply, so suppression delays changes
+	// rather than retraining the rule.
+	if decision == SlowDown {
 		if c.cooldown == 0 {
 			c.cooldown = 2
 		} else if c.cooldown < 16 {
 			c.cooldown *= 2
 		}
 		c.sinceSlowdown = 0
-	case SpeedUp:
-		c.idx++
-	default:
-		if c.OnDecision != nil {
-			c.OnDecision(Keep, false, c.CycleTime())
-		}
-		return Keep, false
 	}
-	// Store the previous epoch's fault count at every change (Section 4),
-	// clamped to one so a zero reference cannot wedge the comparison.
 	c.storedFaults = observed
 	if c.storedFaults == 0 {
 		c.storedFaults = 1
 	}
 	c.primed = true
+
+	if c.minDwell > 0 && c.sinceChange < c.minDwell {
+		c.sinceChange++
+		if c.OnDecision != nil {
+			c.OnDecision(decision, false, c.CycleTime())
+		}
+		return decision, false
+	}
+
+	if decision == SlowDown {
+		c.idx--
+		if spatial {
+			c.SpatialBackoffs++
+		}
+	} else {
+		c.idx++
+	}
+	c.sinceChange = 0
 	c.Switches++
 	c.PenaltyCycles += c.switchPenalty
 	if c.OnDecision != nil {

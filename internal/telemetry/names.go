@@ -51,6 +51,11 @@ const (
 	CtrRunCycles               = "run.cycles"
 	CtrFaultReadInjected       = "fault.read_injected"
 	CtrFaultWriteInjected      = "fault.write_injected"
+	CtrFaultBurstEpisodes      = "fault.burst_episodes"
+	CtrFaultPermanentHits      = "fault.permanent_hits"
+	CtrCacheL1DLinesDisabled   = "cache.l1d.lines_disabled"
+	CtrRecoveryLineDisabled    = "recovery.line_disabled"
+	CtrRecoveryEscalations     = "recovery.escalations"
 	CtrRecoveryDetected        = "recovery.detected"
 	CtrRecoveryRetries         = "recovery.retries"
 	CtrRecoveryRecoveries      = "recovery.recoveries"
@@ -90,6 +95,9 @@ const (
 	EventCampaignResume = "campaign_resume"
 	EventCellRetry      = "cell_retry"
 	EventCellTimeout    = "cell_timeout"
+	EventLineDisable    = "line_disable"
+	EventBurstEnter     = "burst_enter"
+	EventBurstExit      = "burst_exit"
 )
 
 // CacheLevels are the per-level counter families of the memory hierarchy.
@@ -127,6 +135,11 @@ func init() {
 		{CtrRunCycles, KindCounter, "cycles burned across runs"},
 		{CtrFaultReadInjected, KindCounter, "fault events injected on the L1D read path"},
 		{CtrFaultWriteInjected, KindCounter, "fault events injected on the L1D write path"},
+		{CtrFaultBurstEpisodes, KindCounter, "bad-state episodes entered by the Gilbert-Elliott burst process"},
+		{CtrFaultPermanentHits, KindCounter, "accesses faulted by a stuck-at cell below its critical cycle time"},
+		{CtrCacheL1DLinesDisabled, KindCounter, "L1D frames disabled by the strike-budget recovery action"},
+		{CtrRecoveryLineDisabled, KindCounter, "line-disable recovery actions taken"},
+		{CtrRecoveryEscalations, KindCounter, "recovery-ladder escalations beyond k-strike retry (line disables + spatial frequency back-offs)"},
 		{CtrRecoveryDetected, KindCounter, "detected (uncorrectable) parity/ECC mismatches"},
 		{CtrRecoveryRetries, KindCounter, "L1 re-reads before recovery (two-/three-strike)"},
 		{CtrRecoveryRecoveries, KindCounter, "refetch-from-L2 recovery sequences"},
@@ -160,6 +173,9 @@ func init() {
 		{EventCampaignResume, KindEvent, "campaign resumed from a journal, skipping completed cells"},
 		{EventCellRetry, KindEvent, "one campaign grid cell retried after a transient host failure"},
 		{EventCellTimeout, KindEvent, "one campaign grid cell failed by its wall-clock deadline"},
+		{EventLineDisable, KindEvent, "one L1D frame disabled after exhausting its strike budget"},
+		{EventBurstEnter, KindEvent, "burst process entered the bad (droop episode) state"},
+		{EventBurstExit, KindEvent, "burst process returned to the good state"},
 	}
 	for _, level := range CacheLevels {
 		for _, ev := range cacheEvents {

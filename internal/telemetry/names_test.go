@@ -52,15 +52,15 @@ func TestNamesTableContents(t *testing.T) {
 			events++
 		}
 	}
-	// 26 scalar counters + 4 cache levels x 6 events.
-	if want := 26 + len(CacheLevels)*6; counters != want {
+	// 31 scalar counters + 4 cache levels x 6 events.
+	if want := 31 + len(CacheLevels)*6; counters != want {
 		t.Errorf("got %d registered counters, want %d", counters, want)
 	}
 	if hists != 3 {
 		t.Errorf("got %d registered histograms, want 3", hists)
 	}
-	if events != 10 {
-		t.Errorf("got %d registered events, want 10", events)
+	if events != 13 {
+		t.Errorf("got %d registered events, want 13", events)
 	}
 }
 

@@ -269,6 +269,41 @@ func (rt *RunTrace) CellTimeout(study string, index int, seconds float64) {
 	rt.end(b)
 }
 
+// LineDisable records one L1D frame disabled by the strike-budget
+// recovery action: the faulting address, the strike count that exhausted
+// the budget, and the total number of frames now dead.
+func (rt *RunTrace) LineDisable(addr uint64, strikes, deadLines int) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventLineDisable)
+	b = appendUint(b, "addr", addr)
+	b = appendInt(b, "strikes", int64(strikes))
+	b = appendInt(b, "dead_lines", int64(deadLines))
+	rt.end(b)
+}
+
+// BurstEnter records the burst process entering the bad (droop episode)
+// state; episode is the cumulative episode count.
+func (rt *RunTrace) BurstEnter(episode uint64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventBurstEnter)
+	b = appendUint(b, "episode", episode)
+	rt.end(b)
+}
+
+// BurstExit records the burst process returning to the good state.
+func (rt *RunTrace) BurstExit(episode uint64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventBurstExit)
+	b = appendUint(b, "episode", episode)
+	rt.end(b)
+}
+
 // StateRestore records one fault-containment recovery: after dropping the
 // given packet, the control-plane state was rolled back to the last packet
 // boundary by restoring `pages` dirty pages of simulated memory.
