@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint fmt vet clumsylint race
+.PHONY: all build test lint fmt vet clumsylint race bench
 
 all: build lint test
 
@@ -31,3 +31,9 @@ fmt:
 
 clumsylint:
 	$(GO) run ./cmd/clumsylint ./...
+
+# bench writes an auto-numbered BENCH_<n>.json performance snapshot of the
+# quick matrix (drop -quick for the full one). Diff two snapshots with
+# `go run ./cmd/clumsy bench -compare BENCH_0.json BENCH_1.json`.
+bench:
+	$(GO) run ./cmd/clumsy bench -quick -progress

@@ -1,33 +1,47 @@
 // Package clumsy_test is the benchmark harness that regenerates every table
-// and figure of the paper's evaluation. Each benchmark prints the
-// reproduced rows/series once (so `go test -bench . | tee bench_output.txt`
-// captures them) and then times the underlying experiment.
+// and figure of the paper's evaluation. With -bench-render each benchmark
+// prints the reproduced rows/series once (so `go test -bench . -bench-render
+// | tee bench_output.txt` captures them) in addition to timing the
+// underlying experiment; by default the output stays clean for benchmark
+// tooling such as benchstat.
 //
 // The benchmarks run at a reduced scale (fewer packets and trials than the
 // CLI defaults) to keep the suite fast; `cmd/clumsy <experiment>` with
 // default options is the canonical way to regenerate publication-scale
-// numbers, and EXPERIMENTS.md records a full run.
+// numbers, and EXPERIMENTS.md records a full run. For structured,
+// snapshot-diffable performance numbers use `clumsy bench` (internal/bench)
+// instead of this harness.
 package clumsy_test
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 
 	"clumsy/internal/apps"
+	"clumsy/internal/bench"
 	"clumsy/internal/experiment"
 )
 
-// benchOptions returns the reduced experiment scale used by the harness.
+// renderOutput opts into printing each experiment's reproduced tables once.
+var renderOutput = flag.Bool("bench-render", false,
+	"print each experiment's reproduced tables/figures once during benchmarks")
+
+// benchOptions returns the reduced experiment scale used by the harness,
+// shared with the `clumsy bench` runner.
 func benchOptions() experiment.Options {
-	return experiment.Options{Packets: 1000, Trials: 2, Seed: 1}
+	return bench.ExperimentOptions()
 }
 
 // printOnce guards the one-time printing of each experiment's output.
 var printOnce sync.Map
 
 func oncePer(key string, f func()) {
+	if !*renderOutput {
+		return
+	}
 	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
 		f()
 	}

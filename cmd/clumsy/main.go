@@ -7,7 +7,7 @@
 //	clumsy <experiment> [flags]
 //
 // Experiments: table1, fig1b, fig2b, fig3, fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, fig11, fig12, all, run, stats, list.
+// fig9, fig10, fig11, fig12, all, run, stats, bench, list.
 //
 // Every command accepts the observability flags -trace-out (JSONL event
 // trace of all simulated runs), -cpuprofile/-memprofile (pprof), and
@@ -31,6 +31,7 @@ import (
 
 	"clumsy/internal/apps"
 	"clumsy/internal/atomicio"
+	"clumsy/internal/bench"
 	"clumsy/internal/cache"
 	"clumsy/internal/clumsy"
 	"clumsy/internal/experiment"
@@ -67,6 +68,11 @@ type cliOpts struct {
 	describe    bool
 	out         string
 	tracePath   string
+	quick       bool
+	compare     bool
+	threshold   float64
+	progress    bool
+	args        []string // positional arguments after the flags
 	tel         *telemetry.Telemetry
 }
 
@@ -124,6 +130,9 @@ func run(args []string, w io.Writer) (err error) {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	progress := fs.Bool("progress", false, "report experiment-grid progress on stderr")
 	describe := fs.Bool("describe", false, "stats: print the telemetry name registry instead of running a simulation")
+	quick := fs.Bool("quick", false, "bench: reduced matrix and packet counts (CI smoke-test scale)")
+	compareFlag := fs.Bool("compare", false, "bench: compare two snapshot files (bench -compare OLD NEW) instead of running")
+	threshold := fs.Float64("threshold", bench.DefaultThreshold, "bench -compare: relative regression gate on tracked metrics")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -181,6 +190,11 @@ func run(args []string, w io.Writer) (err error) {
 		describe:    *describe,
 		out:         *out,
 		tracePath:   *tracePath,
+		quick:       *quick,
+		compare:     *compareFlag,
+		threshold:   *threshold,
+		progress:    *progress,
+		args:        fs.Args(),
 	}
 
 	// Observability stack. The hub is installed as the process default so
@@ -254,10 +268,10 @@ func run(args []string, w io.Writer) (err error) {
 
 // dispatch routes the command's output: with -out the full rendering is
 // written atomically to the file (a cancelled or failed command leaves no
-// partial file), otherwise it streams to w. The trace command manages its
-// own -out semantics (binary trace payload).
+// partial file), otherwise it streams to w. The trace and bench commands
+// manage their own -out semantics (binary trace payload; snapshot JSON).
 func dispatch(cmd string, o cliOpts, w io.Writer) error {
-	if o.out != "" && cmd != "trace" {
+	if o.out != "" && cmd != "trace" && cmd != "bench" {
 		return atomicio.WriteFile(o.out, func(f io.Writer) error {
 			return execute(cmd, o, f)
 		})
@@ -449,6 +463,8 @@ func execute(cmd string, o cliOpts, w io.Writer) error {
 		return emitTable(experiment.ReliabilityCurveRender(o.app, points, opt))
 	case "trace":
 		return dumpTrace(w, o.app, max(o.packets, 20), max64(o.seed, 1), o.out)
+	case "bench":
+		return benchCommand(o, w)
 	case "verify":
 		claims, err := experiment.VerifyClaims(opt)
 		if err != nil {
@@ -609,6 +625,14 @@ func report(w io.Writer, res *clumsy.Result) error {
 		res.GoldenInstrs, res.GoldenCycles, res.GoldenDelay, res.GoldenEnergy.Total())
 	fmt.Fprintf(w, "clumsy: %d instrs, %.0f cycles, %.1f cycles/packet, %.4g J\n",
 		res.Instrs, res.Cycles, res.Delay, res.Energy.Total())
+	if res.Cycles > 0 {
+		bd := res.Breakdown
+		pct := func(v float64) float64 { return v / res.Cycles * 100 }
+		fmt.Fprintf(w, "cycles: compute %.0f (%.1f%%), l1d %.0f (%.1f%%), l1i %.0f (%.1f%%), l2 %.0f (%.1f%%), mem %.0f (%.1f%%), recovery %.0f (%.1f%%), freq-penalty %.0f (%.1f%%)\n",
+			bd.Compute, pct(bd.Compute), bd.L1D, pct(bd.L1D), bd.L1I, pct(bd.L1I),
+			bd.L2, pct(bd.L2), bd.Mem, pct(bd.Mem), bd.Recovery, pct(bd.Recovery),
+			bd.FreqPenalty, pct(bd.FreqPenalty))
+	}
 	fmt.Fprintf(w, "packets: %d/%d processed, fallibility %.4f, fatal %v\n",
 		res.Report.Processed, res.Report.GoldenPackets, res.Fallibility(), res.Report.Fatal)
 	if cfg.Recovery == clumsy.RecoverDrop || cfg.Recovery == clumsy.RecoverDegrade {
@@ -735,6 +759,14 @@ experiments:
           (-format text = Prometheus exposition, -format json = JSON;
           -describe prints the registered instrument/event name table)
   trace   dump an application's workload (-app -packets -seed [-out file])
+  bench   structured performance benchmark: packets/sec, ns/packet,
+          allocs/packet, instructions/packet, and per-component cycle
+          attribution over app x recovery x regime, plus telemetry
+          micro-benchmarks; writes an auto-numbered BENCH_<n>.json snapshot
+          (-out overrides the path, -quick for CI smoke-test scale)
+          bench -compare [-threshold X] [-format json] OLD NEW
+          diffs two snapshots and exits non-zero when a tracked metric
+          regresses beyond the threshold (default 10%)
   list    this text
 
 extensions (beyond the paper's evaluation; -app selects the workload):

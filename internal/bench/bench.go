@@ -1,0 +1,119 @@
+// Package bench is the performance-observability layer of the repository:
+// a structured benchmark runner that measures the simulator's host-side
+// cost (packets per second, nanoseconds and allocations per packet) and its
+// simulated cost (instructions, cycles, and the per-component cycle
+// attribution buckets per packet) over a matrix of application x recovery
+// policy x fault regime, plus micro-benchmarks of the telemetry hot paths.
+//
+// Results serialize as schema-versioned BENCH_<n>.json snapshots written
+// atomically through internal/atomicio, and two snapshots can be compared
+// with a per-metric regression threshold — the `clumsy bench` subcommand
+// and the CI bench-smoke job are thin wrappers over this package.
+//
+// Wall-clock readings here are measurement of the simulator, not input to
+// it: nothing in this package feeds simulated state, so the detwalk
+// wall-clock escapes below are sound by construction.
+package bench
+
+import "math"
+
+// SchemaVersion identifies the snapshot layout. Readers reject snapshots
+// whose schema they do not understand instead of mis-diffing them.
+const SchemaVersion = 1
+
+// Better directions for a metric: how to interpret a delta between two
+// snapshots.
+const (
+	// BetterLower marks a cost metric: new > old is a regression.
+	BetterLower = "lower"
+	// BetterHigher marks a throughput metric: new < old is a regression.
+	BetterHigher = "higher"
+	// BetterExact marks a deterministic simulated quantity: differences
+	// are reported but never gate, because a deliberate cost-model change
+	// legitimately moves them.
+	BetterExact = "exact"
+)
+
+// Stat summarizes the samples of one metric in one case.
+type Stat struct {
+	Unit   string  `json:"unit"`
+	Better string  `json:"better"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+}
+
+// Case is one benchmarked configuration with its measured metrics.
+type Case struct {
+	Name    string          `json:"name"`
+	Packets int             `json:"packets,omitempty"` // simulated packets per sample (0 for micro-benchmarks)
+	Samples int             `json:"samples"`
+	Metrics map[string]Stat `json:"metrics"`
+}
+
+// Env records where a snapshot was taken, so a diff across machines or
+// toolchains is recognizable as such.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// Snapshot is one complete benchmark run: the environment plus every case.
+type Snapshot struct {
+	Schema  int    `json:"schema"`
+	Created string `json:"created,omitempty"` // RFC3339 wall-clock timestamp
+	Mode    string `json:"mode"`              // "quick" or "full"
+	Env     Env    `json:"env"`
+	Cases   []Case `json:"cases"`
+}
+
+// Case returns the named case, or nil.
+func (s *Snapshot) Case(name string) *Case {
+	for i := range s.Cases {
+		if s.Cases[i].Name == name {
+			return &s.Cases[i]
+		}
+	}
+	return nil
+}
+
+// summarize folds raw samples into a Stat. The samples slice is reordered.
+func summarize(unit, better string, samples []float64) Stat {
+	st := Stat{Unit: unit, Better: better}
+	if len(samples) == 0 {
+		return st
+	}
+	// Insertion sort: sample counts are tiny.
+	for i := 1; i < len(samples); i++ {
+		for j := i; j > 0 && samples[j] < samples[j-1]; j-- {
+			samples[j], samples[j-1] = samples[j-1], samples[j]
+		}
+	}
+	st.Min = samples[0]
+	mid := len(samples) / 2
+	if len(samples)%2 == 1 {
+		st.Median = samples[mid]
+	} else {
+		st.Median = (samples[mid-1] + samples[mid]) / 2
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	st.Mean = sum / float64(len(samples))
+	var sq float64
+	for _, v := range samples {
+		d := v - st.Mean
+		sq += d * d
+	}
+	if len(samples) > 1 {
+		st.StdDev = math.Sqrt(sq / float64(len(samples)-1))
+	}
+	return st
+}

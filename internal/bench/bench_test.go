@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clumsy/internal/clumsy"
+)
+
+func TestSummarize(t *testing.T) {
+	st := summarize("ns", BetterLower, []float64{5, 1, 3})
+	if st.Min != 1 || st.Median != 3 || st.Mean != 3 {
+		t.Errorf("min/median/mean = %g/%g/%g, want 1/3/3", st.Min, st.Median, st.Mean)
+	}
+	if st.StdDev != 2 {
+		t.Errorf("stddev = %g, want 2", st.StdDev)
+	}
+	even := summarize("ns", BetterLower, []float64{4, 2})
+	if even.Median != 3 {
+		t.Errorf("even-count median = %g, want 3", even.Median)
+	}
+	empty := summarize("ns", BetterLower, nil)
+	if empty.Min != 0 || empty.Median != 0 {
+		t.Errorf("empty samples gave %+v", empty)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := &Snapshot{
+		Schema: SchemaVersion,
+		Mode:   "quick",
+		Env:    CaptureEnv(),
+		Cases: []Case{{
+			Name: "sim/route/abort/paper", Packets: 100, Samples: 3,
+			Metrics: map[string]Stat{
+				"ns_per_packet": {Unit: "ns", Better: BetterLower, Median: 1000},
+			},
+		}},
+	}
+	path := filepath.Join(dir, "BENCH_0.json")
+	if err := WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != "quick" || len(got.Cases) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Cases[0].Metrics["ns_per_packet"].Median != 1000 {
+		t.Errorf("metric lost in round trip: %+v", got.Cases[0])
+	}
+	if got.Env.GoVersion == "" {
+		t.Error("environment lost in round trip")
+	}
+}
+
+func TestReadSnapshotRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_0.json")
+	snap := &Snapshot{Schema: SchemaVersion + 1, Mode: "quick",
+		Cases: []Case{{Name: "x", Samples: 1}}}
+	if err := WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Error("future-schema snapshot accepted")
+	}
+}
+
+func TestNextSnapshotPath(t *testing.T) {
+	dir := t.TempDir()
+	next, err := NextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(next) != "BENCH_0.json" {
+		t.Errorf("empty dir: next = %s, want BENCH_0.json", next)
+	}
+	mk := func(name string) {
+		t.Helper()
+		snap := &Snapshot{Schema: SchemaVersion, Mode: "quick",
+			Cases: []Case{{Name: "x", Samples: 1}}}
+		if err := WriteSnapshot(filepath.Join(dir, name), snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("BENCH_0.json")
+	mk("BENCH_7.json")
+	mk("BENCH_notanumber.json") // ignored
+	next, err = NextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(next) != "BENCH_8.json" {
+		t.Errorf("next = %s, want BENCH_8.json", next)
+	}
+}
+
+// twoSnapshots builds an old snapshot and a scaled copy for compare tests.
+func twoSnapshots(scaleNs float64) (*Snapshot, *Snapshot) {
+	mkSnap := func(ns float64) *Snapshot {
+		return &Snapshot{
+			Schema: SchemaVersion, Mode: "quick",
+			Cases: []Case{{
+				Name: "sim/route/abort/paper", Packets: 100, Samples: 3,
+				Metrics: map[string]Stat{
+					"ns_per_packet":     {Unit: "ns", Better: BetterLower, Median: ns},
+					"packets_per_sec":   {Unit: "pkt/s", Better: BetterHigher, Median: 1e9 / ns},
+					"allocs_per_packet": {Unit: "allocs", Better: BetterLower, Median: 0.1},
+					"cycles_per_packet": {Unit: "1/pkt", Better: BetterExact, Median: 5000},
+				},
+			}},
+		}
+	}
+	return mkSnap(1000), mkSnap(1000 * scaleNs)
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	old, new_ := twoSnapshots(1.05) // +5%, inside the 10% gate
+	cmp := Compare(old, new_, 0.10)
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Errorf("5%% drift regressed: %+v", regs)
+	}
+	if !strings.HasPrefix(cmp.Verdict(), "PASS") {
+		t.Errorf("verdict = %q", cmp.Verdict())
+	}
+}
+
+func TestCompareInjectedRegression(t *testing.T) {
+	old, new_ := twoSnapshots(1.5) // +50% ns/packet, -33% pkt/s
+	cmp := Compare(old, new_, 0.10)
+	regs := cmp.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (ns_per_packet, packets_per_sec): %+v", len(regs), regs)
+	}
+	if !strings.HasPrefix(cmp.Verdict(), "FAIL") {
+		t.Errorf("verdict = %q", cmp.Verdict())
+	}
+	var buf bytes.Buffer
+	if err := cmp.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") || !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("text rendering missing markers:\n%s", buf.String())
+	}
+}
+
+func TestCompareExactMetricsNeverGate(t *testing.T) {
+	old, new_ := twoSnapshots(1)
+	c := new_.Case("sim/route/abort/paper")
+	m := c.Metrics["cycles_per_packet"]
+	m.Median *= 10 // huge simulated-cost change
+	c.Metrics["cycles_per_packet"] = m
+	cmp := Compare(old, new_, 0.10)
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Errorf("exact metric gated: %+v", regs)
+	}
+	// But the movement is visible in the deltas.
+	found := false
+	for _, d := range cmp.Deltas {
+		if d.Metric == "cycles_per_packet" && d.Worse {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("exact metric movement not reported")
+	}
+}
+
+func TestCompareAllocSlack(t *testing.T) {
+	old, new_ := twoSnapshots(1)
+	c := new_.Case("sim/route/abort/paper")
+	m := c.Metrics["allocs_per_packet"]
+	m.Median = 0.4 // +300%, but an absolute delta of 0.3 allocs
+	c.Metrics["allocs_per_packet"] = m
+	cmp := Compare(old, new_, 0.10)
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Errorf("sub-slack alloc delta gated: %+v", regs)
+	}
+}
+
+func TestCompareMismatchedCases(t *testing.T) {
+	old, new_ := twoSnapshots(1)
+	new_.Cases[0].Packets = 400 // quick vs full
+	new_.Cases = append(new_.Cases, Case{Name: "sim/new/only", Samples: 1})
+	old.Cases = append(old.Cases, Case{Name: "sim/old/only", Samples: 1})
+	cmp := Compare(old, new_, 0.10)
+	if len(cmp.Incomparable) != 1 {
+		t.Errorf("incomparable = %v", cmp.Incomparable)
+	}
+	if len(cmp.OnlyOld) != 1 || cmp.OnlyOld[0] != "sim/old/only" {
+		t.Errorf("only_old = %v", cmp.OnlyOld)
+	}
+	if len(cmp.OnlyNew) != 1 || cmp.OnlyNew[0] != "sim/new/only" {
+		t.Errorf("only_new = %v", cmp.OnlyNew)
+	}
+	if len(cmp.Deltas) != 0 {
+		t.Errorf("incomparable case still diffed: %+v", cmp.Deltas)
+	}
+}
+
+// TestRunSimCase runs one real matrix cell at reduced scale and checks the
+// measured metrics are present and sane.
+func TestRunSimCase(t *testing.T) {
+	sc := simCase{app: "route", policy: clumsy.RecoverDrop, polName: "drop",
+		regime: clumsy.RegimePaper, regName: "paper"}
+	c, err := runSimCase(sc, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "sim/route/drop/paper" {
+		t.Errorf("case name = %q", c.Name)
+	}
+	ns := c.Metrics["ns_per_packet"]
+	if ns.Median <= 0 {
+		t.Errorf("ns_per_packet median = %g", ns.Median)
+	}
+	pps := c.Metrics["packets_per_sec"]
+	if math.Abs(pps.Median*ns.Median-1e9) > 1e9*0.5 {
+		t.Errorf("pkt/s (%g) inconsistent with ns/pkt (%g)", pps.Median, ns.Median)
+	}
+	if c.Metrics["instrs_per_packet"].Median <= 0 {
+		t.Error("instrs_per_packet missing")
+	}
+	// The exact attribution buckets must sum to cycles_per_packet.
+	sum := 0.0
+	for _, m := range []string{
+		"cycles_compute_per_packet", "cycles_l1d_stall_per_packet",
+		"cycles_l1i_stall_per_packet", "cycles_l2_stall_per_packet",
+		"cycles_mem_stall_per_packet", "cycles_recovery_per_packet",
+		"cycles_freq_penalty_per_packet",
+	} {
+		st, ok := c.Metrics[m]
+		if !ok {
+			t.Fatalf("missing metric %s", m)
+		}
+		sum += st.Median
+	}
+	total := c.Metrics["cycles_per_packet"].Median
+	if math.Abs(sum-total) > total*1e-9 {
+		t.Errorf("bucket metrics sum %g != cycles_per_packet %g", sum, total)
+	}
+}
+
+// TestRunMicroCase smoke-tests one telemetry micro-benchmark.
+func TestRunMicroCase(t *testing.T) {
+	mcs := microCases()
+	mc := mcs[0]
+	mc.iter = 1 << 12 // keep the unit test fast
+	c := runMicroCase(mc, 2)
+	if c.Metrics["ns_per_op"].Median <= 0 {
+		t.Errorf("ns_per_op = %+v", c.Metrics["ns_per_op"])
+	}
+}
+
+// TestMatrixShape pins the case counts of both modes.
+func TestMatrixShape(t *testing.T) {
+	if got := len(matrix(false)); got != 7*3*3 {
+		t.Errorf("full matrix has %d cases, want 63", got)
+	}
+	if got := len(matrix(true)); got != 3*3*3 {
+		t.Errorf("quick matrix has %d cases, want 27", got)
+	}
+}

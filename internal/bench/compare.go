@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DefaultThreshold is the relative regression gate: a tracked metric may
+// move this fraction in the worse direction before the comparison fails.
+const DefaultThreshold = 0.10
+
+// allocSlack is the absolute slack on allocation metrics: a delta smaller
+// than this many allocations per packet/op never gates, whatever the
+// ratio — tiny amortized counts otherwise produce huge, meaningless
+// percentages.
+const allocSlack = 0.5
+
+// Delta is one metric's movement between two snapshots.
+type Delta struct {
+	Case      string  `json:"case"`
+	Metric    string  `json:"metric"`
+	Unit      string  `json:"unit"`
+	Better    string  `json:"better"`
+	Old       float64 `json:"old"`   // old median
+	New       float64 `json:"new"`   // new median
+	Pct       float64 `json:"pct"`   // signed relative change, + = increased
+	Worse     bool    `json:"worse"` // moved in the metric's bad direction
+	Regressed bool    `json:"regressed"`
+}
+
+// Comparison is the full diff of two snapshots.
+type Comparison struct {
+	Threshold    float64  `json:"threshold"`
+	OldMode      string   `json:"old_mode"`
+	NewMode      string   `json:"new_mode"`
+	Deltas       []Delta  `json:"deltas"`
+	OnlyOld      []string `json:"only_old,omitempty"`     // cases missing from the new snapshot
+	OnlyNew      []string `json:"only_new,omitempty"`     // cases missing from the old snapshot
+	Incomparable []string `json:"incomparable,omitempty"` // cases with mismatched packet counts
+}
+
+// Compare diffs two snapshots with the given regression threshold
+// (<= 0 uses DefaultThreshold). Only metrics with a "lower" or "higher"
+// better-direction gate; "exact" metrics appear in the deltas for
+// inspection but never regress. Cases whose simulated packet counts differ
+// (e.g. a quick snapshot against a full one) are skipped as incomparable
+// rather than mis-diffed.
+func Compare(old, new_ *Snapshot, threshold float64) *Comparison {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	cmp := &Comparison{Threshold: threshold, OldMode: old.Mode, NewMode: new_.Mode}
+	for i := range old.Cases {
+		oc := &old.Cases[i]
+		nc := new_.Case(oc.Name)
+		if nc == nil {
+			cmp.OnlyOld = append(cmp.OnlyOld, oc.Name)
+			continue
+		}
+		if oc.Packets != nc.Packets {
+			cmp.Incomparable = append(cmp.Incomparable,
+				fmt.Sprintf("%s (packets %d vs %d)", oc.Name, oc.Packets, nc.Packets))
+			continue
+		}
+		names := make([]string, 0, len(oc.Metrics))
+		for name := range oc.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			om := oc.Metrics[name]
+			nm, ok := nc.Metrics[name]
+			if !ok {
+				continue
+			}
+			cmp.Deltas = append(cmp.Deltas, diffMetric(oc.Name, name, om, nm, threshold))
+		}
+	}
+	for i := range new_.Cases {
+		if old.Case(new_.Cases[i].Name) == nil {
+			cmp.OnlyNew = append(cmp.OnlyNew, new_.Cases[i].Name)
+		}
+	}
+	return cmp
+}
+
+// diffMetric classifies one metric's movement. Gating compares medians:
+// min is too optimistic for a stability gate and mean is too noisy.
+func diffMetric(caseName, metric string, om, nm Stat, threshold float64) Delta {
+	d := Delta{Case: caseName, Metric: metric, Unit: om.Unit, Better: om.Better,
+		Old: om.Median, New: nm.Median}
+	if om.Median != 0 {
+		d.Pct = (nm.Median - om.Median) / math.Abs(om.Median)
+	} else if nm.Median != 0 {
+		d.Pct = math.Inf(1)
+	}
+	switch om.Better {
+	case BetterLower:
+		d.Worse = nm.Median > om.Median
+		d.Regressed = nm.Median > om.Median*(1+threshold)+slack(om.Unit)
+	case BetterHigher:
+		d.Worse = nm.Median < om.Median
+		d.Regressed = nm.Median < om.Median*(1-threshold)-slack(om.Unit)
+	default: // exact: informational only
+		d.Worse = nm.Median != om.Median
+	}
+	return d
+}
+
+// slack returns the absolute gate slack for a metric's unit.
+func slack(unit string) float64 {
+	if unit == "allocs" {
+		return allocSlack
+	}
+	return 0
+}
+
+// Regressions returns the gating deltas that crossed the threshold.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Verdict is the one-line summary: PASS/FAIL, regression count, and the
+// worst offender.
+func (c *Comparison) Verdict() string {
+	regs := c.Regressions()
+	if len(regs) == 0 {
+		return fmt.Sprintf("PASS: no tracked metric regressed beyond %.0f%% across %d compared metrics",
+			c.Threshold*100, len(c.Deltas))
+	}
+	worst := regs[0]
+	for _, d := range regs[1:] {
+		if math.Abs(d.Pct) > math.Abs(worst.Pct) {
+			worst = d
+		}
+	}
+	return fmt.Sprintf("FAIL: %d metric(s) regressed beyond %.0f%% (worst: %s %s %+.1f%%)",
+		len(regs), c.Threshold*100, worst.Case, worst.Metric, worst.Pct*100)
+}
+
+// WriteText renders the comparison as a table: every regression, plus any
+// non-gating movement beyond the threshold for context.
+func (c *Comparison) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-34s %-30s %12s %12s %8s\n",
+		"case", "metric", "old", "new", "delta"); err != nil {
+		return err
+	}
+	shown := 0
+	for _, d := range c.Deltas {
+		interesting := d.Regressed || (d.Worse && math.Abs(d.Pct) > c.Threshold)
+		if !interesting {
+			continue
+		}
+		shown++
+		mark := ""
+		if d.Regressed {
+			mark = "  << REGRESSED"
+		}
+		if _, err := fmt.Fprintf(w, "%-34s %-30s %12.2f %12.2f %+7.1f%%%s\n",
+			d.Case, d.Metric, d.Old, d.New, d.Pct*100, mark); err != nil {
+			return err
+		}
+	}
+	if shown == 0 {
+		if _, err := fmt.Fprintln(w, "(no metric moved in the worse direction beyond the threshold)"); err != nil {
+			return err
+		}
+	}
+	for _, name := range c.OnlyOld {
+		if _, err := fmt.Fprintf(w, "only in old snapshot: %s\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range c.OnlyNew {
+		if _, err := fmt.Fprintf(w, "only in new snapshot: %s\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range c.Incomparable {
+		if _, err := fmt.Fprintf(w, "incomparable: %s\n", name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, c.Verdict())
+	return err
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// CaptureEnv records the host environment a snapshot was taken on. CPU
+// model and commit are best-effort: missing /proc/cpuinfo or .git simply
+// leaves the field empty.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		Commit:     gitCommit(),
+	}
+}
+
+// cpuModel extracts the "model name" line of /proc/cpuinfo (Linux only;
+// empty elsewhere).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// gitCommit resolves HEAD by walking .git files from the working directory
+// upward — no subprocess, so it works in restricted environments.
+func gitCommit() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		head := filepath.Join(dir, ".git", "HEAD")
+		if b, err := os.ReadFile(head); err == nil {
+			return resolveHead(filepath.Join(dir, ".git"), strings.TrimSpace(string(b)))
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// resolveHead turns a HEAD file's contents into a commit hash, following
+// one level of symbolic ref.
+func resolveHead(gitDir, head string) string {
+	ref, ok := strings.CutPrefix(head, "ref: ")
+	if !ok {
+		return head // detached HEAD: already a hash
+	}
+	ref = strings.TrimSpace(ref)
+	if b, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return strings.TrimSpace(string(b))
+	}
+	// The ref may only exist packed.
+	if b, err := os.ReadFile(filepath.Join(gitDir, "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if hash, ok := strings.CutSuffix(line, " "+ref); ok {
+				return strings.TrimSpace(hash)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"clumsy/internal/atomicio"
+)
+
+// WriteSnapshot writes the snapshot as indented JSON through the
+// atomic temp+fsync+rename path, so a crashed or interrupted benchmark
+// never leaves a truncated BENCH file behind.
+func WriteSnapshot(path string, s *Snapshot) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	})
+}
+
+// ReadSnapshot loads and validates a snapshot file.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: snapshot schema %d, this build understands %d",
+			path, s.Schema, SchemaVersion)
+	}
+	if len(s.Cases) == 0 {
+		return nil, fmt.Errorf("%s: snapshot has no cases", path)
+	}
+	return &s, nil
+}
+
+// NextSnapshotPath returns the next free auto-numbered BENCH_<n>.json path
+// in dir: one past the highest existing number, starting at BENCH_0.json.
+func NextSnapshotPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	for _, e := range entries {
+		name := e.Name()
+		num, ok := strings.CutPrefix(name, "BENCH_")
+		if !ok {
+			continue
+		}
+		num, ok = strings.CutSuffix(num, ".json")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(num)
+		if err != nil || n < 0 {
+			continue
+		}
+		if n+1 > next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}

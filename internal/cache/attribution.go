@@ -1,0 +1,49 @@
+package cache
+
+// CycleBreakdown splits a run's total cycles into per-component buckets —
+// the attribution INTERPLAY-style degradation prediction needs and the
+// paper's aggregate cycle counts cannot provide. The buckets partition the
+// total exactly: every cycle the simulator charges lands in exactly one
+// bucket, and the accounting discipline (cycleacct) confines all bucket
+// writes to //lint:cycle-accounting helpers alongside the accumulators
+// they shadow.
+//
+// At the standard operating points every individual charge is a dyadic
+// rational (latencies 1, 1.5, 2, 15, 80; one cycle per instruction; the
+// switch penalty 10) and run totals stay far below 2^53, so the floating-
+// point bucket sums are exact and Total() equals the run's cycle count
+// bit-for-bit — the tested invariant. An exotic hand-picked CycleTime
+// whose scaled latency is not exactly representable can perturb the
+// partition by ulps; none of the paper's operating points do.
+type CycleBreakdown struct {
+	// Compute is the single-issue core's own cycles: one per executed
+	// instruction, excluding the watchdog burn (accounted as Recovery).
+	Compute float64 `json:"compute"`
+	// L1D is the data cache's array access latency on the normal path
+	// (first-attempt reads and writes at the current cycle time).
+	L1D float64 `json:"l1d_stall"`
+	// L1I is the instruction-fetch stall: every cycle charged below the
+	// L1I, including its share of L2 and memory time (instruction fetch
+	// is never fault-injected, so its backend time is not split further).
+	L1I float64 `json:"l1i_stall"`
+	// L2 is the L2's own portion of data-side backend stalls on the
+	// normal (non-recovery) path.
+	L2 float64 `json:"l2_stall"`
+	// Mem is main memory's portion of data-side backend stalls on the
+	// normal path.
+	Mem float64 `json:"mem_stall"`
+	// Recovery is every cycle the fault machinery costs beyond normal
+	// operation: k-strike retry re-reads, recovery refetches and
+	// write-backs through the backend (full-line and sub-block), and the
+	// watchdog budget a stuck packet burns before containment or abort.
+	Recovery float64 `json:"recovery"`
+	// FreqPenalty is the dynamic controller's operating-point switch
+	// penalty cycles.
+	FreqPenalty float64 `json:"freq_penalty"`
+}
+
+// Total returns the sum of all buckets; on every standard configuration it
+// equals the run's total cycle count exactly.
+func (b CycleBreakdown) Total() float64 {
+	return b.Compute + b.L1D + b.L1I + b.L2 + b.Mem + b.Recovery + b.FreqPenalty
+}

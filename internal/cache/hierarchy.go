@@ -75,6 +75,9 @@ func NewHierarchyWith(space *simmem.Space, inj fault.Process, det Detection, str
 	if err != nil {
 		return nil, err
 	}
+	// The L1D samples the memory's cycle accumulator around its backend
+	// calls to split stall attribution into L2 and memory buckets.
+	l1d.AttachMemory(mem)
 	return &Hierarchy{Space: space, Mem: mem, L2: l2, L1D: l1d, L1I: l1i}, nil
 }
 

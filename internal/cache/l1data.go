@@ -90,6 +90,7 @@ type L1Data struct {
 	vsr  float64 // relative voltage swing at cr
 	lat  float64 // current access latency in core cycles (Latency * cr)
 	fill []byte  // scratch line buffer
+	word [4]byte // scratch word buffer; local arrays escape through the next-level interface
 
 	// rt, when non-nil, receives structured trace events for injected
 	// faults and recovery steps. It is nil by default, so the hit path is
@@ -103,6 +104,35 @@ type L1Data struct {
 	// Cycles accumulates the data-access stall cycles of the run; the
 	// execution engine folds it into the per-packet cycle counts.
 	Cycles float64
+
+	// Breakdown shadows Cycles with per-component attribution: every
+	// charge helper that advances Cycles adds the same amount to exactly
+	// one bucket (L1D array, L2, Mem, or Recovery), so the data-side
+	// buckets always sum to Cycles. The Compute/L1I/FreqPenalty buckets
+	// are folded in by the run machinery at the end of a run.
+	Breakdown CycleBreakdown
+
+	// mem, when non-nil, points at the main memory at the bottom of this
+	// cache's backend chain; its cycle accumulator is sampled around
+	// backend calls to split reported stalls into L2 and memory buckets.
+	// Nil (an L1D built over an arbitrary backend) attributes all
+	// non-recovery backend stalls to the L2 bucket.
+	mem *MainMemory
+}
+
+// AttachMemory registers the main memory below this cache's backend chain
+// for the L2/memory stall split. The hierarchy constructor calls it; an
+// L1D without one accounts backend stalls wholly to the L2 bucket.
+func (c *L1Data) AttachMemory(m *MainMemory) { c.mem = m }
+
+// memCycles samples the attached main memory's cycle accumulator (zero
+// without one); deltas around a backend call isolate the memory share of
+// its reported stall.
+func (c *L1Data) memCycles() float64 {
+	if c.mem == nil {
+		return 0
+	}
+	return c.mem.Cycles
 }
 
 // NewL1Data builds the clumsy L1 data cache over next. strikes selects the
@@ -338,22 +368,54 @@ func (c *L1Data) InvalidateAll() { c.tab.invalidateAll() }
 // write-back (DMA coherence).
 func (c *L1Data) InvalidateRange(addr simmem.Addr, n int) { c.tab.invalidateRange(addr, n) }
 
-// The four charge helpers below are the only places the L1D's stall-cycle
-// and energy accumulators may be written; the cycleacct analyzer enforces
-// this, so any cost-model change to the clumsy cache stays confined to
-// these lines.
+// The charge helpers below are the only places the L1D's stall-cycle,
+// attribution, and energy accumulators may be written; the cycleacct
+// analyzer enforces this, so any cost-model change to the clumsy cache
+// stays confined to these lines. Each helper adds the charged cycles to
+// exactly one Breakdown bucket, which is what keeps the buckets summing
+// to Cycles exactly.
 
-// chargeStall accounts stall cycles reported by the next level.
+// chargeStall accounts stall cycles reported by the next level on the
+// normal (non-recovery) path, split into the L2's share and main
+// memory's share (memPart, a delta of the attached memory's accumulator
+// around the backend call).
 //
 //lint:cycle-accounting
-func (c *L1Data) chargeStall(cyc float64) { c.Cycles += cyc }
+func (c *L1Data) chargeStall(cyc, memPart float64) {
+	c.Cycles += cyc
+	c.Breakdown.L2 += cyc - memPart
+	c.Breakdown.Mem += memPart
+}
 
-// chargeArrayRead accounts one drive of the array on the read path: the
-// scaled access latency plus read energy at the current voltage swing.
+// chargeRecoveryStall accounts backend stall cycles spent on recovery
+// traffic — sub-block refetches, recovery write-backs, and post-recovery
+// refills — attributed wholly to the recovery bucket.
+//
+//lint:cycle-accounting
+func (c *L1Data) chargeRecoveryStall(cyc float64) {
+	c.Cycles += cyc
+	c.Breakdown.Recovery += cyc
+}
+
+// chargeArrayRead accounts one first-attempt drive of the array on the
+// read path: the scaled access latency plus read energy at the current
+// voltage swing.
 //
 //lint:cycle-accounting
 func (c *L1Data) chargeArrayRead() {
 	c.Cycles += c.lat
+	c.Breakdown.L1D += c.lat
+	c.Energy.ReadSwing += c.vsr
+}
+
+// chargeArrayRetry accounts a re-drive of the array forced by the
+// k-strike machinery (a retry, or a re-read after a recovery): the same
+// latency and energy as a normal read, attributed to recovery.
+//
+//lint:cycle-accounting
+func (c *L1Data) chargeArrayRetry() {
+	c.Cycles += c.lat
+	c.Breakdown.Recovery += c.lat
 	c.Energy.ReadSwing += c.vsr
 }
 
@@ -362,6 +424,7 @@ func (c *L1Data) chargeArrayRead() {
 //lint:cycle-accounting
 func (c *L1Data) chargeArrayWrite() {
 	c.Cycles += c.lat
+	c.Breakdown.L1D += c.lat
 	c.Energy.WriteSwing += c.vsr
 }
 
@@ -374,7 +437,9 @@ func (c *L1Data) chargeFillDrive() { c.Energy.WriteSwing += c.vsr }
 // ensure returns the line containing addr, filling on a miss. When every
 // way of the set is disabled it returns (nil, nil) after counting the
 // forced miss; the caller serves the access via the L2 bypass path.
-func (c *L1Data) ensure(addr simmem.Addr, isWrite bool) (*line, error) {
+// recovering marks a refill forced by the recovery machinery: its backend
+// stalls land in the recovery bucket instead of the L2/memory split.
+func (c *L1Data) ensure(addr simmem.Addr, isWrite, recovering bool) (*line, error) {
 	if ln := c.tab.lookup(addr); ln != nil {
 		return ln, nil
 	}
@@ -393,18 +458,28 @@ func (c *L1Data) ensure(addr simmem.Addr, isWrite bool) (*line, error) {
 		// "an incorrect value from level-1 is written to" the L2.
 		c.Stats.Writebacks++
 		base := simmem.Addr(victim.tag) << c.tab.setShift
+		m0 := c.memCycles()
 		cyc, err := c.next.StoreLine(base, victim.data)
 		if err != nil {
 			return nil, err
 		}
-		c.chargeStall(cyc)
+		if recovering {
+			c.chargeRecoveryStall(cyc)
+		} else {
+			c.chargeStall(cyc, c.memCycles()-m0)
+		}
 	}
 	base := c.tab.lineBase(addr)
+	m0 := c.memCycles()
 	cyc, err := c.next.FetchLine(base, victim.data)
 	if err != nil {
 		return nil, err
 	}
-	c.chargeStall(cyc)
+	if recovering {
+		c.chargeRecoveryStall(cyc)
+	} else {
+		c.chargeStall(cyc, c.memCycles()-m0)
+	}
 	// The fill drives the array once; parity is computed per word from the
 	// (correct) L2 data.
 	c.chargeFillDrive()
@@ -438,7 +513,7 @@ func putLeWord(b []byte, v uint32) {
 // addr: injection, parity check, strikes, and recovery through L2.
 func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 	c.Stats.Reads++
-	ln, err := c.ensure(addr, false)
+	ln, err := c.ensure(addr, false, false)
 	if err != nil {
 		return 0, err
 	}
@@ -448,7 +523,14 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 	w := int(addr) & (c.tab.cfg.BlockSize - 1) &^ 3
 	recoveries := 0
 	for attempt := 1; ; attempt++ {
-		c.chargeArrayRead()
+		if attempt > 1 || recoveries > 0 {
+			// Everything beyond the first pristine array drive of this
+			// word is recovery-induced: a k-strike retry or a re-read
+			// after a refetch.
+			c.chargeArrayRetry()
+		} else {
+			c.chargeArrayRead()
+		}
 		stored := leWord(ln.data[w:])
 		mask := uint32(c.injector.NextAt(uint64(addr)))
 		if mask != 0 {
@@ -517,14 +599,14 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 			if c.rt != nil {
 				c.rt.Recovery("subblock", attempt, uint64(addr))
 			}
-			var word [4]byte
-			cyc, err := c.next.FetchLine(addr, word[:])
+			word := c.word[:]
+			cyc, err := c.next.FetchLine(addr, word)
 			if err != nil {
 				return 0, err
 			}
-			c.chargeStall(cyc)
-			copy(ln.data[w:w+4], word[:])
-			fresh := leWord(word[:])
+			c.chargeRecoveryStall(cyc)
+			copy(ln.data[w:w+4], word)
+			fresh := leWord(word)
 			ln.parity[w/4] = wordParity(fresh)
 			if ln.enc != nil {
 				ln.enc[w/4] = fresh
@@ -548,14 +630,14 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 			if err != nil {
 				return 0, err
 			}
-			c.chargeStall(cyc)
+			c.chargeRecoveryStall(cyc)
 		}
 		ln.valid = false
 		ln.dirty = false
 		if disable {
 			c.disableLine(ln, addr)
 		}
-		ln, err = c.ensure(addr, false)
+		ln, err = c.ensure(addr, false, true)
 		if err != nil {
 			return 0, err
 		}
@@ -576,25 +658,30 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 // cost is the full L2 round trip on every access.
 func (c *L1Data) bypassReadWord(addr simmem.Addr) (uint32, error) {
 	c.Recovery.Bypasses++
-	var word [4]byte
-	cyc, err := c.next.FetchLine(addr, word[:])
+	word := c.word[:]
+	m0 := c.memCycles()
+	cyc, err := c.next.FetchLine(addr, word)
 	if err != nil {
 		return 0, err
 	}
-	c.chargeStall(cyc)
-	return leWord(word[:]), nil
+	// Bypass is the degraded steady state of a set whose frames are all
+	// dead, not a recovery event: its round trips split into the normal
+	// L2/memory buckets.
+	c.chargeStall(cyc, c.memCycles()-m0)
+	return leWord(word), nil
 }
 
 // bypassWriteWord writes one aligned word straight through to the L2.
 func (c *L1Data) bypassWriteWord(addr simmem.Addr, v uint32) error {
 	c.Recovery.Bypasses++
-	var word [4]byte
-	putLeWord(word[:], v)
-	cyc, err := c.next.StoreLine(addr, word[:])
+	word := c.word[:]
+	putLeWord(word, v)
+	m0 := c.memCycles()
+	cyc, err := c.next.StoreLine(addr, word)
 	if err != nil {
 		return err
 	}
-	c.chargeStall(cyc)
+	c.chargeStall(cyc, c.memCycles()-m0)
 	return nil
 }
 
@@ -604,7 +691,7 @@ func (c *L1Data) bypassWriteWord(addr simmem.Addr, v uint32) error {
 // number of bits flip).
 func (c *L1Data) writeWord(addr simmem.Addr, v uint32) error {
 	c.Stats.Writes++
-	ln, err := c.ensure(addr, true)
+	ln, err := c.ensure(addr, true, false)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,11 @@ type MainMemory struct {
 	Space   *simmem.Space
 	Latency float64 // stall cycles per line transfer
 	Stats   Stats
+
+	// Cycles accumulates the transfer latency of every line moved; the
+	// L1D samples it around backend calls to split reported stalls into
+	// L2 and memory attribution buckets.
+	Cycles float64
 }
 
 // NewMainMemory wraps space with the given line-transfer latency.
@@ -15,12 +20,19 @@ func NewMainMemory(space *simmem.Space, latency float64) *MainMemory {
 	return &MainMemory{Space: space, Latency: latency}
 }
 
+// chargeTransfer accounts one line transfer's latency — the only
+// permitted write to the memory cycle accumulator (cycleacct invariant).
+//
+//lint:cycle-accounting
+func (m *MainMemory) chargeTransfer() { m.Cycles += m.Latency }
+
 // FetchLine reads a line from the backing space.
 func (m *MainMemory) FetchLine(addr simmem.Addr, buf []byte) (float64, error) {
 	m.Stats.Reads++
 	if err := m.Space.ReadBlock(addr, buf); err != nil {
 		return 0, err
 	}
+	m.chargeTransfer()
 	return m.Latency, nil
 }
 
@@ -30,6 +42,7 @@ func (m *MainMemory) StoreLine(addr simmem.Addr, buf []byte) (float64, error) {
 	if err := m.Space.WriteBlock(addr, buf); err != nil {
 		return 0, err
 	}
+	m.chargeTransfer()
 	return m.Latency, nil
 }
 

@@ -25,6 +25,7 @@ func resultBytes(t *testing.T, r *Result) []byte {
 		GoldenDelay   float64
 		GoldenEnergy  any
 		Cycles        float64
+		Breakdown     any
 		Instrs        uint64
 		Delay         float64
 		Energy        any
@@ -52,6 +53,7 @@ func resultBytes(t *testing.T, r *Result) []byte {
 		GoldenDelay:   r.GoldenDelay,
 		GoldenEnergy:  r.GoldenEnergy,
 		Cycles:        r.Cycles,
+		Breakdown:     r.Breakdown,
 		Instrs:        r.Instrs,
 		Delay:         r.Delay,
 		Energy:        r.Energy,

@@ -30,6 +30,7 @@ type engine struct {
 
 	instrs uint64  // instructions executed
 	core   float64 // core cycles (1 per instruction); stalls live in the caches
+	burned float64 // core cycles spun away by watchdog kills (subset of core)
 
 	curBlock   int
 	sinceFetch int
@@ -73,6 +74,7 @@ func (e *engine) charge(n int) {
 func (e *engine) burnWatchdog(budget uint64) {
 	if spent := e.packetInstrs(); spent < budget {
 		e.core += float64(budget - spent)
+		e.burned += float64(budget - spent)
 	}
 }
 

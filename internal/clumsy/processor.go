@@ -284,7 +284,12 @@ type Result struct {
 	GoldenL1DStats cache.Stats
 
 	// Clumsy run.
-	Cycles    float64
+	Cycles float64
+	// Breakdown attributes Cycles to per-component buckets — compute,
+	// L1D/L1I/L2/memory stall, recovery, and frequency-switch penalty.
+	// The buckets partition Cycles exactly on every standard
+	// configuration (see cache.CycleBreakdown and the attribution tests).
+	Breakdown cache.CycleBreakdown
 	Instrs    uint64
 	Delay     float64 // data-plane cycles per completed packet
 	Energy    energy.Breakdown
@@ -386,6 +391,7 @@ func RunWithTrace(cfg Config, trace *packet.Trace) (*Result, error) {
 		return nil, fmt.Errorf("clumsy: faulty run failed: %w", err)
 	}
 	res.Cycles = faulty.cycles
+	res.Breakdown = faulty.breakdown
 	res.Instrs = faulty.instrs
 	res.Delay = faulty.delay
 	res.Energy = faulty.energy
@@ -427,6 +433,7 @@ type injection struct {
 type onceResult struct {
 	rec             *metrics.Recorder
 	cycles          float64
+	breakdown       cache.CycleBreakdown
 	instrs          uint64
 	delay           float64
 	maxPacketInstrs uint64
@@ -799,11 +806,22 @@ func processPacket(app apps.App, ctx *apps.Context, p *packet.Packet, buf simmem
 //lint:cycle-accounting
 func finish(out *onceResult, eng *engine, h *cache.Hierarchy, cfg Config, ctrl *freqctl.Controller, setupCycles float64, processed int) {
 	out.cycles = eng.totalCycles()
+	// Fold the per-component attribution: the L1D accumulated its own
+	// data-side split (array / L2 / memory / recovery stalls); the core,
+	// instruction fetch, watchdog burn, and switch penalty join it here.
+	// Every term below is a disjoint share of out.cycles, so the buckets
+	// sum to the total exactly (see cache.CycleBreakdown).
+	bd := h.L1D.Breakdown
+	bd.Compute = eng.core - eng.burned
+	bd.Recovery += eng.burned
+	bd.L1I = h.L1I.Cycles
 	if ctrl != nil {
 		out.cycles += ctrl.PenaltyCycles
+		bd.FreqPenalty = ctrl.PenaltyCycles
 		out.levelPackets = ctrl.LevelPackets
 		out.switches = ctrl.Switches
 	}
+	out.breakdown = bd
 	out.instrs = eng.instrs
 	if processed > 0 {
 		out.delay = (out.cycles - setupCycles) / float64(processed)

@@ -74,6 +74,19 @@ func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *once
 	reg.Counter(telemetry.CtrRunInstructions).Add(eng.instrs)
 	reg.Counter(telemetry.CtrRunCycles).Add(uint64(out.cycles))
 
+	// Per-component cycle attribution: the same total, split by where the
+	// cycles went. Counters are integral, so each bucket is truncated
+	// independently; consumers wanting the exact partition read the
+	// Breakdown fields off the Result.
+	bd := out.breakdown
+	reg.Counter(telemetry.CtrCyclesCompute).Add(uint64(bd.Compute))
+	reg.Counter(telemetry.CtrCyclesL1DStall).Add(uint64(bd.L1D))
+	reg.Counter(telemetry.CtrCyclesL1IStall).Add(uint64(bd.L1I))
+	reg.Counter(telemetry.CtrCyclesL2Stall).Add(uint64(bd.L2))
+	reg.Counter(telemetry.CtrCyclesMemStall).Add(uint64(bd.Mem))
+	reg.Counter(telemetry.CtrCyclesRecovery).Add(uint64(bd.Recovery))
+	reg.Counter(telemetry.CtrCyclesFreqPenalty).Add(uint64(bd.FreqPenalty))
+
 	addCacheStats(reg, "l1d", h.L1D.Stats)
 	addCacheStats(reg, "l1i", h.L1I.Stats)
 	addCacheStats(reg, "l2", h.L2.Stats)

@@ -4,7 +4,8 @@
 // internal/cache, direct writes (assignment, compound assignment,
 // increment/decrement) to the counter fields
 //
-//	Cycles, core, instrs, ReadSwing, WriteSwing
+//	Cycles, core, instrs, burned, ReadSwing, WriteSwing,
+//	and the CycleBreakdown attribution buckets
 //
 // are rejected unless the enclosing function is marked as an accounting
 // helper with a `//lint:cycle-accounting` doc-comment directive. A
@@ -30,11 +31,16 @@ var Packages = []string{"internal/clumsy", "internal/cache"}
 // invariant protects the accumulators the cost model charges into, not the
 // fold-out copies a finished run reports.
 var counterFields = map[string]map[string]bool{
-	"engine":        {"core": true, "instrs": true},
-	"L1Data":        {"Cycles": true},
-	"L1Instr":       {"Cycles": true},
+	"engine":     {"core": true, "instrs": true, "burned": true},
+	"L1Data":     {"Cycles": true},
+	"L1Instr":    {"Cycles": true},
+	"MainMemory": {"Cycles": true},
+	"CycleBreakdown": {
+		"Compute": true, "L1D": true, "L1I": true, "L2": true,
+		"Mem": true, "Recovery": true, "FreqPenalty": true,
+	},
 	"EnergyWeights": {"ReadSwing": true, "WriteSwing": true},
-	"onceResult":    {"cycles": true, "instrs": true},
+	"onceResult":    {"cycles": true, "instrs": true, "breakdown": true},
 }
 
 // Analyzer is the cycleacct check.

@@ -1,16 +1,42 @@
 // Fixture: the cache layer's stall-cycle accumulator.
 package cache
 
+type CycleBreakdown struct {
+	Compute  float64
+	L2       float64
+	Recovery float64
+}
+
 type L1Data struct {
-	Cycles float64
+	Cycles    float64
+	Breakdown CycleBreakdown
 }
 
 //lint:cycle-accounting
-func (c *L1Data) chargeStall(cyc float64) { c.Cycles += cyc }
+func (c *L1Data) chargeStall(cyc float64) {
+	c.Cycles += cyc
+	c.Breakdown.L2 += cyc
+}
 
 func fill(c *L1Data, cyc float64) {
-	c.Cycles += cyc // want `direct write to cycle/energy counter field Cycles`
+	c.Cycles += cyc          // want `direct write to cycle/energy counter field Cycles`
+	c.Breakdown.L2 += cyc    // want `direct write to cycle/energy counter field L2`
+	c.Breakdown.Recovery = 0 // want `direct write to cycle/energy counter field Recovery`
 	c.chargeStall(cyc)
+}
+
+type MainMemory struct {
+	Cycles  float64
+	Latency float64
+}
+
+//lint:cycle-accounting
+func (m *MainMemory) chargeTransfer() { m.Cycles += m.Latency }
+
+func transfer(m *MainMemory) {
+	m.Cycles += m.Latency // want `direct write to cycle/energy counter field Cycles`
+	m.Latency = 80        // config, not a counter: writable anywhere
+	m.chargeTransfer()
 }
 
 type EnergyWeights struct {

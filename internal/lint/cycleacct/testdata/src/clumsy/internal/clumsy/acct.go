@@ -6,6 +6,7 @@ package clumsy
 type engine struct {
 	core   float64
 	instrs uint64
+	burned float64
 	pc     int // not a counter field: writable anywhere
 }
 
@@ -22,6 +23,7 @@ func step(e *engine) {
 	e.instrs++    // want `direct write to cycle/energy counter field instrs`
 	e.core += 1.5 // want `direct write to cycle/energy counter field core`
 	e.core = 0    // want `direct write to cycle/energy counter field core`
+	e.burned += 8 // want `direct write to cycle/energy counter field burned`
 	e.charge(1)   // routed through the helper: no diagnostic
 }
 

@@ -6,9 +6,10 @@ package observe
 import "clumsy/internal/telemetry"
 
 func instrument(reg *telemetry.Registry, dyn string) {
-	reg.Counter(telemetry.CtrRunCount).Inc() // registry constant: ok
-	reg.Counter("run.count").Inc()           // raw literal, but registered: ok
-	reg.Counter("run.cuont").Inc()           // want `unregistered telemetry counter name "run.cuont"`
+	reg.Counter(telemetry.CtrRunCount).Inc()      // registry constant: ok
+	reg.Counter("run.count").Inc()                // raw literal, but registered: ok
+	reg.Counter(telemetry.CtrCyclesCompute).Inc() // attribution-bucket constant: ok
+	reg.Counter("run.cuont").Inc()                // want `unregistered telemetry counter name "run.cuont"`
 	reg.Histogram(telemetry.HistPacketCycles).Observe(1)
 	reg.Histogram("packet.cyc").Observe(1)                        // want `unregistered telemetry histogram name "packet.cyc"`
 	reg.Histogram("run.count").Observe(1)                         // want `unregistered telemetry histogram name "run.count"`

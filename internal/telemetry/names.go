@@ -69,6 +69,13 @@ const (
 	CtrFreqSwitches            = "freq.switches"
 	CtrFreqPenaltyCycles       = "freq.penalty_cycles"
 	CtrWatchdogKills           = "watchdog.kills"
+	CtrCyclesCompute           = "cycles.compute"
+	CtrCyclesL1DStall          = "cycles.l1d_stall"
+	CtrCyclesL1IStall          = "cycles.l1i_stall"
+	CtrCyclesL2Stall           = "cycles.l2_stall"
+	CtrCyclesMemStall          = "cycles.mem_stall"
+	CtrCyclesRecovery          = "cycles.recovery"
+	CtrCyclesFreqPenalty       = "cycles.freq_penalty"
 	CtrExperimentRuns          = "experiment.runs"
 	CtrCampaignCellsDone       = "campaign.cells_done"
 	CtrCampaignCellsSkipped    = "campaign.cells_skipped"
@@ -153,6 +160,13 @@ func init() {
 		{CtrFreqSwitches, KindCounter, "operating-point switches applied"},
 		{CtrFreqPenaltyCycles, KindCounter, "cycles charged for frequency switches"},
 		{CtrWatchdogKills, KindCounter, "packets killed by the instruction-budget watchdog"},
+		{CtrCyclesCompute, KindCounter, "cycles attributed to single-issue instruction execution"},
+		{CtrCyclesL1DStall, KindCounter, "cycles attributed to first-attempt L1D array access"},
+		{CtrCyclesL1IStall, KindCounter, "cycles attributed to L1I fetch stalls (incl. its backend fills)"},
+		{CtrCyclesL2Stall, KindCounter, "cycles attributed to normal-path L2 fills and write-backs on the data side"},
+		{CtrCyclesMemStall, KindCounter, "cycles attributed to normal-path main-memory transfers on the data side"},
+		{CtrCyclesRecovery, KindCounter, "cycles attributed to fault recovery (retries, refetches, watchdog burn)"},
+		{CtrCyclesFreqPenalty, KindCounter, "cycles attributed to operating-point switch penalties"},
 		{CtrExperimentRuns, KindCounter, "experiment-grid runs completed"},
 		{CtrCampaignCellsDone, KindCounter, "campaign grid cells computed to completion"},
 		{CtrCampaignCellsSkipped, KindCounter, "campaign grid cells satisfied from the resume journal"},

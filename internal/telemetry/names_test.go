@@ -52,8 +52,8 @@ func TestNamesTableContents(t *testing.T) {
 			events++
 		}
 	}
-	// 31 scalar counters + 4 cache levels x 6 events.
-	if want := 31 + len(CacheLevels)*6; counters != want {
+	// 38 scalar counters + 4 cache levels x 6 events.
+	if want := 38 + len(CacheLevels)*6; counters != want {
 		t.Errorf("got %d registered counters, want %d", counters, want)
 	}
 	if hists != 3 {
