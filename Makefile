@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint fmt vet clumsylint race bench
+.PHONY: all build test lint fmt vet clumsylint race bench fleet
 
 all: build lint test
 
@@ -37,3 +37,9 @@ clumsylint:
 # `go run ./cmd/clumsy bench -compare BENCH_0.json BENCH_1.json`.
 bench:
 	$(GO) run ./cmd/clumsy bench -quick -progress
+
+# fleet runs the fleet degradation study (faulty-node fraction sweep on the
+# virtual-time cluster simulator). `go run ./cmd/clumsy fleet -faulty N ...`
+# runs one fleet simulation instead.
+fleet:
+	$(GO) run ./cmd/clumsy fleet -progress

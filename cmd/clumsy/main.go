@@ -34,6 +34,7 @@ import (
 	"clumsy/internal/bench"
 	"clumsy/internal/cache"
 	"clumsy/internal/clumsy"
+	"clumsy/internal/cluster"
 	"clumsy/internal/experiment"
 	"clumsy/internal/metrics"
 	"clumsy/internal/packet"
@@ -57,6 +58,7 @@ type cliOpts struct {
 	seed        uint64
 	scale       float64
 	cr          float64
+	crSet       bool // -cr given explicitly (fleet keeps the cluster default otherwise)
 	dynamic     bool
 	parity      bool
 	strikes     int
@@ -72,8 +74,32 @@ type cliOpts struct {
 	compare     bool
 	threshold   float64
 	progress    bool
+	nodes       int
+	faulty      int
+	dispatch    string
 	args        []string // positional arguments after the flags
 	tel         *telemetry.Telemetry
+}
+
+// fleetConfig builds the single-run fleet configuration of `fleet -faulty N`.
+func (o cliOpts) fleetConfig(pol cluster.DispatchPolicy) cluster.Config {
+	cfg := cluster.Config{
+		App:             o.app,
+		Nodes:           o.nodes,
+		Packets:         o.packets,
+		Seed:            o.seed,
+		Dispatch:        pol,
+		FaultyNodes:     o.faulty,
+		FaultScale:      o.scale,
+		Dynamic:         o.dynamic,
+		Recovery:        o.recovery,
+		NodeMaxDropRate: o.maxDropRate,
+		Telemetry:       o.tel,
+	}
+	if o.crSet {
+		cfg.CycleTime = o.cr
+	}
+	return cfg
 }
 
 // runConfig builds the single-run configuration of the run/stats commands.
@@ -130,6 +156,9 @@ func run(args []string, w io.Writer) (err error) {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	progress := fs.Bool("progress", false, "report experiment-grid progress on stderr")
 	describe := fs.Bool("describe", false, "stats: print the telemetry name registry instead of running a simulation")
+	nodes := fs.Int("nodes", 0, "fleet: node count (0 = 8)")
+	faulty := fs.Int("faulty", -1, "fleet: hostile node count for one fleet simulation (-1 = run the degradation study instead)")
+	dispatchPolicy := fs.String("dispatch", "", "fleet: dispatch policy, flow (default) or least")
 	quick := fs.Bool("quick", false, "bench: reduced matrix and packet counts (CI smoke-test scale)")
 	compareFlag := fs.Bool("compare", false, "bench: compare two snapshot files (bench -compare OLD NEW) instead of running")
 	threshold := fs.Float64("threshold", bench.DefaultThreshold, "bench -compare: relative regression gate on tracked metrics")
@@ -194,8 +223,16 @@ func run(args []string, w io.Writer) (err error) {
 		compare:     *compareFlag,
 		threshold:   *threshold,
 		progress:    *progress,
+		nodes:       *nodes,
+		faulty:      *faulty,
+		dispatch:    *dispatchPolicy,
 		args:        fs.Args(),
 	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "cr" {
+			o.crSet = true
+		}
+	})
 
 	// Observability stack. The hub is installed as the process default so
 	// that every clumsy.Run — including the ones buried inside experiment
@@ -282,10 +319,16 @@ func dispatch(cmd string, o cliOpts, w io.Writer) error {
 // printProgress renders one grid-progress line on stderr (carriage-return
 // updated in place, finished with a newline).
 func printProgress(p telemetry.Progress) {
-	fmt.Fprintf(os.Stderr, "\r%d/%d runs  avg %v/run  elapsed %v  workers %.0f%% busy   ",
+	// Drained cells (grid failure or cancellation) would otherwise vanish
+	// from the count: Done never reaches Total and the line looks stuck.
+	skipped := ""
+	if p.Skipped > 0 {
+		skipped = fmt.Sprintf("  skipped=%d", p.Skipped)
+	}
+	fmt.Fprintf(os.Stderr, "\r%d/%d runs  avg %v/run  elapsed %v  workers %.0f%% busy%s   ",
 		p.Done, p.Total,
 		p.AvgRun.Round(time.Millisecond), p.Elapsed.Round(time.Millisecond),
-		p.Utilization()*100)
+		p.Utilization()*100, skipped)
 	if p.Done >= p.Total {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -461,6 +504,30 @@ func execute(cmd string, o cliOpts, w io.Writer) error {
 			return err
 		}
 		return emitTable(experiment.ReliabilityCurveRender(o.app, points, opt))
+	case "fleet":
+		pol, err := cluster.ParseDispatchPolicy(o.dispatch)
+		if err != nil {
+			return err
+		}
+		if o.faulty >= 0 {
+			// One fleet simulation: N nodes, the given hostile count, full
+			// health lifecycle, SLO report (text, or -format json).
+			r, err := cluster.Run(o.fleetConfig(pol))
+			if err != nil {
+				return err
+			}
+			if o.format == "json" {
+				return r.WriteJSON(w)
+			}
+			return r.WriteText(w)
+		}
+		// The fleet degradation study: journaled, resumable, rendered like
+		// every other campaign table.
+		cells, err := experiment.Fleet(o.app, opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(experiment.FleetRender(o.app, cells, opt))
 	case "trace":
 		return dumpTrace(w, o.app, max(o.packets, 20), max64(o.seed, 1), o.out)
 	case "bench":
@@ -759,6 +826,13 @@ experiments:
           (-format text = Prometheus exposition, -format json = JSON;
           -describe prints the registered instrument/event name table)
   trace   dump an application's workload (-app -packets -seed [-out file])
+  fleet   fleet-scale serving on the virtual-time cluster simulator:
+          N clumsy nodes behind a dispatcher with node health tracking,
+          drain-and-re-clock, failover, and SLO-guarded load shedding.
+          Plain "fleet" runs the journaled degradation study (faulty-node
+          fraction sweep, -app -packets -trials); "fleet -faulty N" runs one
+          fleet simulation (-nodes N -dispatch flow|least -packets -seed
+          -scale -cr -dynamic, -format json for the machine-readable report)
   bench   structured performance benchmark: packets/sec, ns/packet,
           allocs/packet, instructions/packet, and per-component cycle
           attribution over app x recovery x regime, plus telemetry

@@ -9,6 +9,7 @@ import (
 	"clumsy/internal/apps"
 	"clumsy/internal/cache"
 	"clumsy/internal/clumsy"
+	"clumsy/internal/cluster"
 	"clumsy/internal/experiment"
 	"clumsy/internal/telemetry"
 )
@@ -103,6 +104,14 @@ func Run(opts Options) (*Snapshot, error) {
 		snap.Cases = append(snap.Cases, *c)
 		progress(opts.Progress, c)
 	}
+	for _, fc := range fleetCases(opts.Quick) {
+		c, err := runFleetCase(fc, samples)
+		if err != nil {
+			return nil, fmt.Errorf("bench case %s: %w", c.Name, err)
+		}
+		snap.Cases = append(snap.Cases, *c)
+		progress(opts.Progress, c)
+	}
 	for _, mc := range microCases() {
 		c := runMicroCase(mc, samples)
 		snap.Cases = append(snap.Cases, *c)
@@ -188,6 +197,88 @@ func runSimCase(sc simCase, packets, samples int) (*Case, error) {
 	c.Metrics["cycles_mem_stall_per_packet"] = exact(bd.Mem / pkts)
 	c.Metrics["cycles_recovery_per_packet"] = exact(bd.Recovery / pkts)
 	c.Metrics["cycles_freq_penalty_per_packet"] = exact(bd.FreqPenalty / pkts)
+	return c, nil
+}
+
+// fleetCase is one fleet-serving cell of the benchmark matrix: a whole
+// virtual-time cluster simulation (dispatcher, per-node engines, health
+// machine) measured end to end.
+type fleetCase struct {
+	name string
+	cfg  cluster.Config
+}
+
+// fleetCases builds the fleet case family. The hostile cells use the same
+// terminal-node knobs as the fleet degradation study, so the benchmark
+// exercises the full lifecycle: drain, re-clock, probation, death,
+// failover. Quick mode keeps one clean and one hostile cell.
+func fleetCases(quick bool) []fleetCase {
+	packets := 800
+	if quick {
+		packets = 300
+	}
+	mk := func(label string, nodes, faulty int, pol cluster.DispatchPolicy) fleetCase {
+		return fleetCase{
+			name: "fleet/route/" + label,
+			cfg: cluster.Config{
+				App: "route", Nodes: nodes, Packets: packets, Seed: benchSeed,
+				Dispatch: pol, FaultyNodes: faulty, FaultyScale: 150, FaultyPreDisable: 0.10,
+				Health: cluster.HealthConfig{Window: 32, MaxDrains: 1, MaxCycleTime: 0.625},
+			},
+		}
+	}
+	cases := []fleetCase{
+		mk("4x-clean-flow", 4, 0, cluster.DispatchFlowHash),
+		mk("8x-faulty2-least", 8, 2, cluster.DispatchLeastLoaded),
+	}
+	if !quick {
+		cases = append(cases, mk("8x-faulty6-least", 8, 6, cluster.DispatchLeastLoaded))
+	}
+	return cases
+}
+
+// runFleetCase measures one fleet cell: N timed cluster.Run invocations of
+// the same seeded configuration.
+func runFleetCase(fc fleetCase, samples int) (*Case, error) {
+	packets := fc.cfg.Packets
+	c := &Case{Name: fc.name, Packets: packets, Samples: samples, Metrics: map[string]Stat{}}
+	nsSamples := make([]float64, 0, samples)
+	ppsSamples := make([]float64, 0, samples)
+	allocSamples := make([]float64, 0, samples)
+	var last *cluster.Report
+	for i := 0; i < samples+1; i++ {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now() //lint:wallclock-ok — wall-clock benchmark timing, never feeds simulated state
+		r, err := cluster.Run(fc.cfg)
+		elapsed := time.Since(start) //lint:wallclock-ok — wall-clock benchmark timing, never feeds simulated state
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return c, err
+		}
+		if i == 0 {
+			continue // warm-up sample: discard
+		}
+		last = r
+		perPkt := float64(elapsed.Nanoseconds()) / float64(packets)
+		nsSamples = append(nsSamples, perPkt)
+		ppsSamples = append(ppsSamples, 1e9/perPkt)
+		allocSamples = append(allocSamples, float64(ms1.Mallocs-ms0.Mallocs)/float64(packets))
+	}
+	c.Metrics["ns_per_packet"] = summarize("ns", BetterLower, nsSamples)
+	c.Metrics["packets_per_sec"] = summarize("pkt/s", BetterHigher, ppsSamples)
+	c.Metrics["allocs_per_packet"] = summarize("allocs", BetterLower, allocSamples)
+
+	// Fleet outcomes are deterministic for a fixed seed: record them as
+	// exact metrics so behavioural drift shows up in the diff.
+	exact := func(unit string, v float64) Stat {
+		return Stat{Unit: unit, Better: BetterExact, Min: v, Median: v, Mean: v}
+	}
+	c.Metrics["fleet_drop_rate"] = exact("frac", last.FleetDropRate)
+	c.Metrics["slo_attainment"] = exact("frac", last.Attainment)
+	c.Metrics["p99_latency_ticks"] = exact("ticks", last.P99Latency)
+	c.Metrics["deaths"] = exact("nodes", float64(last.Deaths))
+	c.Metrics["nodes_live"] = exact("nodes", float64(last.NodesLive))
 	return c, nil
 }
 

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustJSON(t *testing.T, r *Report) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return b.String()
+}
+
+// TestFleetDeterminism pins the package's central contract: a fixed-seed
+// fleet run is byte-identical across invocations — workload, arrivals,
+// fault streams, dispatch, health decisions, and the rendered report.
+func TestFleetDeterminism(t *testing.T) {
+	cfg := Config{App: "route", Nodes: 4, Packets: 700, Seed: 9, FaultyNodes: 2, FaultyScale: 80}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, j2 := mustJSON(t, r1), mustJSON(t, r2)
+	if j1 != j2 {
+		t.Errorf("reports differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", j1, j2)
+	}
+	if r1.Completed == 0 {
+		t.Error("no packet ever completed")
+	}
+	var txt bytes.Buffer
+	if err := r1.WriteText(&txt); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if txt.Len() == 0 {
+		t.Error("empty text report")
+	}
+}
+
+// TestFleetFailoverAndDeath drives one terminally damaged node (pinned
+// pre-disabled frames above the drain bar) through the full lifecycle:
+// drain, re-clock, failed probation, drain-budget exhaustion, death — with
+// its flows rehashed to the three survivors and the drop SLO intact (one
+// dead node of four is within the fleet's capacity margin).
+func TestFleetFailoverAndDeath(t *testing.T) {
+	// The short drain ladder (one re-clock step, capped low) retires the
+	// terminal node within the test's packet budget.
+	cfg := Config{
+		App: "route", Nodes: 4, Packets: 1600, Seed: 5,
+		FaultyNodes: 1, FaultyScale: 150, FaultyPreDisable: 0.10,
+		Health: HealthConfig{MaxDrains: 1, MaxCycleTime: 0.625},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deaths != 1 || r.NodesLive != 3 {
+		t.Fatalf("deaths=%d live=%d, want the one terminal node dead and 3 survivors", r.Deaths, r.NodesLive)
+	}
+	if r.PerNode[3].State != "dead" || !r.PerNode[3].Hostile {
+		t.Fatalf("node 3 final state %q hostile=%v, want the hostile node dead", r.PerNode[3].State, r.PerNode[3].Hostile)
+	}
+	if r.Drains == 0 || r.Reclocks == 0 || r.Probations == 0 {
+		t.Errorf("death skipped the ladder: drains=%d reclocks=%d probations=%d", r.Drains, r.Reclocks, r.Probations)
+	}
+	if !r.DropSLOMet {
+		t.Errorf("drop SLO broken (%.2f%% > %.2f%%) with only 1/4 nodes dead",
+			100*r.FleetDropRate, 100*r.SLOMaxDropRate)
+	}
+	if r.PerNode[3].Attempted == 0 {
+		t.Error("the doomed node never served a packet")
+	}
+}
+
+// TestFleetGracefulDegradation sweeps the faulty-node fraction and checks
+// the acceptance shape: SLO attainment declines monotonically (no cliff to
+// zero while survivors remain), and the fleet drop rate stays under the
+// SLO until more than a third of the fleet is dead.
+func TestFleetGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	// Least-loaded dispatch keeps the fault-free baseline clean: the
+	// workload's Zipf-skewed flow mix would pin its hottest flow to one
+	// node under flow hashing and overload it with no faults at all.
+	atts := make([]float64, 0, 3)
+	for _, faulty := range []int{0, 2, 4} {
+		r, err := Run(Config{
+			App: "route", Nodes: 6, Packets: 1200, Seed: 3,
+			Dispatch:    DispatchLeastLoaded,
+			FaultyNodes: faulty, FaultyScale: 150, FaultyPreDisable: 0.10,
+			Health: HealthConfig{Window: 32, MaxDrains: 1, MaxCycleTime: 0.625},
+		})
+		if err != nil {
+			t.Fatalf("faulty=%d: %v", faulty, err)
+		}
+		atts = append(atts, r.Attainment)
+		deadFrac := float64(r.Deaths) / float64(r.Nodes)
+		if deadFrac <= 1.0/3+1e-9 && !r.DropSLOMet {
+			t.Errorf("faulty=%d: drop SLO broken (%.2f%%) with only %.0f%% of nodes dead",
+				faulty, 100*r.FleetDropRate, 100*deadFrac)
+		}
+		if faulty > 0 && r.Deaths == 0 {
+			t.Errorf("faulty=%d: terminal nodes never died", faulty)
+		}
+	}
+	for i := 1; i < len(atts); i++ {
+		if atts[i] > atts[i-1]+0.02 {
+			t.Errorf("attainment rose with more faulty nodes: %v", atts)
+		}
+	}
+	if atts[0] < 0.95 {
+		t.Errorf("fault-free fleet attainment %.3f, want near 1", atts[0])
+	}
+	if last := atts[len(atts)-1]; last >= atts[0] || last < 0.10 {
+		t.Errorf("degradation not graceful: attainments %v (want a decline, not a cliff to ~0)", atts)
+	}
+}
+
+func TestParseDispatchPolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want DispatchPolicy
+		err  bool
+	}{
+		{"", DispatchFlowHash, false},
+		{"flow", DispatchFlowHash, false},
+		{"least", DispatchLeastLoaded, false},
+		{"random", DispatchFlowHash, true},
+	} {
+		got, err := ParseDispatchPolicy(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseDispatchPolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if DispatchFlowHash.String() != "flow" || DispatchLeastLoaded.String() != "least" {
+		t.Error("policy String() drifted from the CLI spellings")
+	}
+}
+
+func TestNodeStateStrings(t *testing.T) {
+	want := map[NodeState]string{
+		StateHealthy: "healthy", StateDegraded: "degraded", StateDraining: "draining",
+		StateProbation: "probation", StateDead: "dead", NodeState(99): "invalid",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+	for _, s := range []NodeState{StateHealthy, StateDegraded, StateProbation} {
+		if !s.eligible() {
+			t.Errorf("%s should take traffic", s)
+		}
+	}
+	for _, s := range []NodeState{StateDraining, StateDead} {
+		if s.eligible() {
+			t.Errorf("%s should not take traffic", s)
+		}
+	}
+}

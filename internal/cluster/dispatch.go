@@ -1,0 +1,61 @@
+package cluster
+
+import "clumsy/internal/packet"
+
+// mix64 is the splitmix64 output finalizer: a full-avalanche 64-bit mixer.
+// It is the hash behind flow-to-node rendezvous ranking; determinism
+// requires a fixed function, not Go's per-process map hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// flowKey packs a packet's 5-tuple into one word. Packets of the same flow
+// get the same key, so flow-hash dispatch keeps flows on one node.
+func flowKey(p *packet.Packet) uint64 {
+	k := uint64(p.Src)<<32 | uint64(p.Dst)
+	k = mix64(k)
+	k ^= uint64(p.SrcPort)<<24 | uint64(p.DstPort)<<8 | uint64(p.Proto)
+	return mix64(k)
+}
+
+// rendezvousPick implements highest-random-weight (rendezvous) hashing:
+// among eligible nodes whose queues have room, the flow goes to the node
+// with the highest hash of (flow, node). Flows are stable — removing a
+// node only moves that node's flows, each independently rehashing to its
+// next-highest survivor — which is exactly the failover property the
+// fleet needs. Returns -1 when no eligible node has room.
+func rendezvousPick(key uint64, eligible []bool, room func(i int) bool) int {
+	best, bestW := -1, uint64(0)
+	for i := range eligible {
+		if !eligible[i] || !room(i) {
+			continue
+		}
+		w := mix64(key ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+		if best == -1 || w > bestW || (w == bestW && i < best) {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// leastLoadedPick returns the eligible node with the fewest packets in
+// flight (queued + in service), ties to the lowest index; -1 when every
+// eligible queue is full.
+func leastLoadedPick(eligible []bool, load func(i int) int, room func(i int) bool) int {
+	best, bestLoad := -1, 0
+	for i := range eligible {
+		if !eligible[i] || !room(i) {
+			continue
+		}
+		l := load(i)
+		if best == -1 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+
+	"clumsy/internal/packet"
+)
+
+func allRoom(int) bool { return true }
+
+func TestRendezvousStability(t *testing.T) {
+	// Removing one node must move only that node's flows: every other
+	// flow keeps its assignment. This is the failover property: a death
+	// does not reshuffle the whole fleet.
+	const n = 5
+	elig := make([]bool, n)
+	for i := range elig {
+		elig[i] = true
+	}
+	keys := make([]uint64, 200)
+	before := make([]int, len(keys))
+	for i := range keys {
+		keys[i] = mix64(uint64(i) + 12345)
+		before[i] = rendezvousPick(keys[i], elig, allRoom)
+		if before[i] < 0 || before[i] >= n {
+			t.Fatalf("key %d picked out-of-range node %d", i, before[i])
+		}
+	}
+	const dead = 2
+	elig[dead] = false
+	moved := 0
+	for i := range keys {
+		after := rendezvousPick(keys[i], elig, allRoom)
+		switch {
+		case before[i] == dead:
+			moved++
+			if after == dead {
+				t.Fatalf("key %d still on removed node", i)
+			}
+		case after != before[i]:
+			t.Fatalf("key %d moved %d -> %d though node %d was unaffected",
+				i, before[i], after, before[i])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no flow ever mapped to the removed node; stability test is vacuous")
+	}
+}
+
+func TestRendezvousFullQueueFallsOver(t *testing.T) {
+	elig := []bool{true, true, true, true}
+	key := mix64(99)
+	first := rendezvousPick(key, elig, allRoom)
+	second := rendezvousPick(key, elig, func(i int) bool { return i != first })
+	if second == first || second < 0 {
+		t.Fatalf("full-queue fallback picked %d (first choice %d)", second, first)
+	}
+	if got := rendezvousPick(key, elig, func(int) bool { return false }); got != -1 {
+		t.Fatalf("all queues full: got %d, want -1", got)
+	}
+}
+
+func TestLeastLoadedPick(t *testing.T) {
+	elig := []bool{true, false, true, true}
+	loads := []int{3, 0, 1, 1}
+	got := leastLoadedPick(elig, func(i int) int { return loads[i] }, allRoom)
+	if got != 2 {
+		t.Fatalf("got node %d, want 2 (least loaded eligible, lowest index on tie)", got)
+	}
+	if got := leastLoadedPick(elig, func(i int) int { return loads[i] }, func(int) bool { return false }); got != -1 {
+		t.Fatalf("all full: got %d, want -1", got)
+	}
+}
+
+func TestFlowKeyPerFlow(t *testing.T) {
+	a := &packet.Packet{Src: 1, Dst: 2, SrcPort: 1000, DstPort: 80, Proto: packet.ProtoTCP}
+	b := &packet.Packet{Src: 1, Dst: 2, SrcPort: 1000, DstPort: 80, Proto: packet.ProtoTCP, TTL: 9, Payload: []byte("x")}
+	if flowKey(a) != flowKey(b) {
+		t.Fatal("flow key must ignore TTL and payload")
+	}
+	c := &packet.Packet{Src: 1, Dst: 2, SrcPort: 1001, DstPort: 80, Proto: packet.ProtoTCP}
+	if flowKey(a) == flowKey(c) {
+		t.Fatal("distinct flows collided (source port ignored?)")
+	}
+}
+
+// FuzzFleetDispatch drives small fleets from fuzzed configurations and
+// asserts the two load-bearing invariants of the dispatcher: conservation
+// (every arrival is completed, dropped by a node, or counted shed —
+// exactly once) and determinism (a fixed config yields a byte-identical
+// report on rerun). Run is the oracle: it returns an error itself when
+// conservation breaks.
+func FuzzFleetDispatch(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(1), uint8(4), false, uint16(90))
+	f.Add(uint64(7), uint8(2), uint8(2), uint8(1), true, uint16(60))
+	f.Add(uint64(42), uint8(4), uint8(0), uint8(6), false, uint16(120))
+	f.Fuzz(func(t *testing.T, seed uint64, nodes, faulty, qcap uint8, least bool, packets uint16) {
+		cfg := Config{
+			App:         "route",
+			Nodes:       1 + int(nodes%5),
+			Packets:     40 + int(packets%120),
+			Seed:        seed,
+			QueueCap:    1 + int(qcap%8),
+			FaultyNodes: int(faulty % 6),
+			FaultyScale: 120,
+		}
+		if least {
+			cfg.Dispatch = DispatchLeastLoaded
+		}
+		r1, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run 1: %v", err)
+		}
+		if r1.Arrivals != cfg.Packets {
+			t.Fatalf("arrivals %d != offered %d", r1.Arrivals, cfg.Packets)
+		}
+		if r1.Completed+r1.NodeDrops+r1.Shed != r1.Arrivals {
+			t.Fatalf("conservation: %d + %d + %d != %d",
+				r1.Completed, r1.NodeDrops, r1.Shed, r1.Arrivals)
+		}
+		if r1.Dispatched+r1.Redispatched < r1.Completed+r1.NodeDrops {
+			t.Fatalf("served more packets (%d) than were ever dispatched (%d)",
+				r1.Completed+r1.NodeDrops, r1.Dispatched+r1.Redispatched)
+		}
+		r2, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run 2: %v", err)
+		}
+		j1, j2 := mustJSON(t, r1), mustJSON(t, r2)
+		if j1 != j2 {
+			t.Fatalf("rerun not byte-identical:\n%s\nvs\n%s", j1, j2)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package cluster
+
+// NodeState is the fleet's view of one node's service life. The state
+// machine is driven by windowed health evidence from the node's recovery
+// ladder (contained-drop rate, disabled-line fraction, watchdog kills)
+// and moves with hysteresis so one bad window does not flap a node out of
+// rotation:
+//
+//	Healthy ──(drop rate or disabled lines over the degrade bar)──▶ Degraded
+//	Degraded ─(evidence over the drain bar, or no recovery)──────▶ Draining
+//	Degraded ─(HealthyWindows consecutive clean windows)─────────▶ Healthy
+//	Draining ─(queue empty; re-clock applied)────────────────────▶ Probation
+//	Draining ─(re-clock budget exhausted)────────────────────────▶ Dead
+//	Probation ─(ProbationPackets served without drain evidence)──▶ Healthy
+//	Probation ─(evidence over the drain bar again)───────────────▶ Draining
+//	any ──────(node fatal / suicide)─────────────────────────────▶ Dead
+//
+// Healthy, Degraded, and Probation nodes take traffic; Draining nodes
+// finish their queue but receive no new packets; Dead nodes are out and
+// their queued packets fail over to survivors.
+type NodeState int
+
+const (
+	StateHealthy NodeState = iota
+	StateDegraded
+	StateDraining
+	StateProbation
+	StateDead
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDraining:
+		return "draining"
+	case StateProbation:
+		return "probation"
+	case StateDead:
+		return "dead"
+	default:
+		return "invalid"
+	}
+}
+
+// eligible reports whether a node in this state accepts new packets.
+func (s NodeState) eligible() bool {
+	return s == StateHealthy || s == StateDegraded || s == StateProbation
+}
+
+// HealthConfig tunes the health state machine.
+type HealthConfig struct {
+	// Window is the assessment window in packets: the node's evidence is
+	// re-evaluated every Window packets it serves (0 = 64).
+	Window int
+	// DegradeDropRate: windowed contained-drop rate at or above which a
+	// healthy node is marked degraded (0 = 0.04).
+	DegradeDropRate float64
+	// DrainDropRate: windowed contained-drop rate at or above which a
+	// degraded node is taken out for drain-and-re-clock (0 = 0.20).
+	DrainDropRate float64
+	// DegradeDisabledFrac / DrainDisabledFrac: disabled-line capacity
+	// fractions with the same roles (0 = 0.03 and 0.06). Disabled lines
+	// are the ladder's spatial evidence: with parity containment a sick
+	// cache can run drop-free while steadily losing capacity.
+	DegradeDisabledFrac float64
+	DrainDisabledFrac   float64
+	// HealthyWindows is the hysteresis on recovery: a degraded node must
+	// post this many consecutive clean windows to be healthy again (0 = 2).
+	HealthyWindows int
+	// ProbationPackets is how many packets a re-clocked node must serve
+	// without re-tripping the drain bar before it counts as healthy
+	// (0 = 2x Window).
+	ProbationPackets int
+	// ReclockStep is added to the node's relative cycle time at each
+	// drain-complete re-clock (0 = 0.125). Slower cycles give marginal
+	// cells their sense window back and re-enable disabled frames.
+	ReclockStep float64
+	// MaxCycleTime caps re-clocking (0 = 0.75). A node that needs to
+	// drain again at the cap has nothing left to trade and is dead. The
+	// cap is deliberately below the stuck-at model's highest critical
+	// threshold (0.8): at full-swing cycle time every weak cell is silent
+	// and no node could ever be retired.
+	MaxCycleTime float64
+	// MaxDrains bounds the drain-and-re-clock attempts per node (0 = 3).
+	MaxDrains int
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.Window <= 0 {
+		h.Window = 64
+	}
+	if h.DegradeDropRate <= 0 {
+		h.DegradeDropRate = 0.04
+	}
+	if h.DrainDropRate <= 0 {
+		h.DrainDropRate = 0.20
+	}
+	if h.DegradeDisabledFrac <= 0 {
+		h.DegradeDisabledFrac = 0.03
+	}
+	if h.DrainDisabledFrac <= 0 {
+		h.DrainDisabledFrac = 0.06
+	}
+	if h.HealthyWindows <= 0 {
+		h.HealthyWindows = 2
+	}
+	if h.ProbationPackets <= 0 {
+		h.ProbationPackets = 2 * h.Window
+	}
+	if h.ReclockStep <= 0 {
+		h.ReclockStep = 0.125
+	}
+	if h.MaxCycleTime <= 0 {
+		h.MaxCycleTime = 0.75
+	}
+	if h.MaxDrains <= 0 {
+		h.MaxDrains = 3
+	}
+	return h
+}
+
+// windowEvidence is the differenced health evidence of one assessment
+// window.
+type windowEvidence struct {
+	attempted    int
+	contained    int
+	disabledFrac float64 // instantaneous, not differenced
+}
+
+func (w windowEvidence) dropRate() float64 {
+	if w.attempted == 0 {
+		return 0
+	}
+	return float64(w.contained) / float64(w.attempted)
+}
+
+// verdict classifies one window against the config's bars.
+type verdict int
+
+const (
+	verdictClean verdict = iota
+	verdictDegrade
+	verdictDrain
+)
+
+func (h HealthConfig) judge(w windowEvidence) verdict {
+	if w.dropRate() >= h.DrainDropRate || w.disabledFrac >= h.DrainDisabledFrac {
+		return verdictDrain
+	}
+	if w.dropRate() >= h.DegradeDropRate || w.disabledFrac >= h.DegradeDisabledFrac {
+		return verdictDegrade
+	}
+	return verdictClean
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// fleetTestOptions keeps the resume sweep fast: one trial of a small
+// fleet run per point.
+func fleetTestOptions() Options {
+	return Options{Packets: 400, Trials: 1}
+}
+
+// TestFleetStudy pins the acceptance shape of the degradation curve: a
+// clean fault-free baseline, attainment falling (not rising) as the fleet
+// loses nodes, and the drop SLO intact while no more than a third of the
+// fleet is dead. The sweep needs enough packets per node for the terminal
+// nodes to finish the drain ladder and die, so it runs bigger than the
+// resume test.
+func TestFleetStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	cells, err := Fleet("route", Options{Packets: 1200, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(FleetFracs) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(FleetFracs))
+	}
+	if cells[0].Attainment < 0.95 || !cells[0].DropSLOMet {
+		t.Errorf("fault-free baseline attainment=%.3f sloMet=%v, want a clean fleet",
+			cells[0].Attainment, cells[0].DropSLOMet)
+	}
+	for _, c := range cells {
+		deadFrac := c.Deaths / FleetNodes
+		if deadFrac <= 1.0/3+1e-9 && !c.DropSLOMet {
+			t.Errorf("frac=%g: drop SLO broken with only %.0f%% of nodes dead", c.Frac, 100*deadFrac)
+		}
+	}
+	last := cells[len(cells)-1]
+	if last.Attainment >= cells[0].Attainment {
+		t.Errorf("attainment did not decline: %.3f -> %.3f", cells[0].Attainment, last.Attainment)
+	}
+
+	var csv bytes.Buffer
+	if err := FleetRender("route", cells, Options{Packets: 1200, Trials: 1}).RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.Len() == 0 {
+		t.Error("empty rendered curve")
+	}
+}
+
+// TestFleetResumeByteIdentical mirrors the campaign tentpole's acceptance
+// test for the fleet study: a sweep cancelled mid-grid and resumed from
+// its journal must skip the journaled cells and render byte-identical
+// output to an uninterrupted run.
+func TestFleetResumeByteIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	o := fleetTestOptions()
+
+	// Reference: the uninterrupted sweep.
+	ref, err := Fleet("route", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if err := FleetRender("route", ref, o).RenderCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: cancel once two cells have been journaled. In-flight
+	// cells drain; the rest of the sweep never runs.
+	j, _, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	oi := o
+	oi.Ctx = ctx
+	oi.Journal = j
+	var computed atomic.Int32
+	oi.afterCell = func(string, int) {
+		if computed.Add(1) == 2 {
+			cancel()
+		}
+	}
+	if _, err := Fleet("route", oi); err == nil {
+		t.Fatal("cancelled sweep must report an error")
+	}
+
+	jr, loaded, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(FleetFracs)
+	if loaded < 2 || loaded >= total {
+		t.Fatalf("journal holds %d of %d cells; want a partial sweep", loaded, total)
+	}
+
+	// Resumed: only the missing cells are computed, and the rendered CSV
+	// is byte-identical to the uninterrupted reference.
+	or := o
+	or.Journal = jr
+	var recomputed atomic.Int32
+	or.afterCell = func(string, int) { recomputed.Add(1) }
+	res, err := Fleet("route", or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(recomputed.Load()), total-loaded; got != want {
+		t.Fatalf("resume recomputed %d cells, want %d (journal held %d)", got, want, loaded)
+	}
+	var gotCSV bytes.Buffer
+	if err := FleetRender("route", res, o).RenderCSV(&gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refCSV.Bytes(), gotCSV.Bytes()) {
+		t.Fatalf("resumed sweep rendered differently:\n--- uninterrupted ---\n%s--- resumed ---\n%s",
+			refCSV.String(), gotCSV.String())
+	}
+}

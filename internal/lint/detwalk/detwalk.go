@@ -2,7 +2,8 @@
 // paper's tables and figures are reproducible only because a seeded run is
 // a pure function of its configuration. Three classes of hidden
 // nondeterminism are rejected inside the deterministic sim core
-// (internal/{clumsy,cache,simmem,fault,apps,freqctl,metrics,packet,radix}):
+// (internal/{clumsy,cache,simmem,fault,apps,freqctl,metrics,packet,radix,
+// cluster}):
 //
 //   - iteration over a Go map (`for range m`), whose order varies per
 //     process — a hot-path map walk silently changes access interleaving;
@@ -38,6 +39,7 @@ var CorePackages = []string{
 	"internal/metrics",
 	"internal/packet",
 	"internal/radix",
+	"internal/cluster",
 }
 
 // Analyzer is the detwalk check.

@@ -11,5 +11,6 @@ func TestDetwalk(t *testing.T) {
 	analysistest.Run(t, detwalk.Analyzer,
 		"clumsy/internal/clumsy",
 		"clumsy/internal/telemetry",
+		"clumsy/internal/cluster",
 	)
 }

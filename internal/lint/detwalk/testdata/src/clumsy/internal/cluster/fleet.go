@@ -1,0 +1,28 @@
+// Fixture: the fleet simulator is part of the deterministic sim core. Its
+// virtual-time event loop must not walk maps, spawn goroutines, or read
+// the wall clock — a fixed-seed fleet run is byte-identical only because
+// every decision is a pure function of the configuration.
+package cluster
+
+import "time"
+
+func drainFlows(flows map[uint64]int) int {
+	moved := 0
+	for key := range flows { // want `range over map in the deterministic sim core`
+		moved += int(key & 1)
+	}
+	return moved
+}
+
+func drainFlowsOrdered(keys []uint64) int {
+	moved := 0
+	for _, key := range keys { // slices are ordered: no diagnostic
+		moved += int(key & 1)
+	}
+	return moved
+}
+
+func tick() float64 {
+	// Virtual time must come from the event loop, never the host clock.
+	return float64(time.Now().UnixNano()) // want `wall clock read \(time\.Now\) in deterministic code`
+}

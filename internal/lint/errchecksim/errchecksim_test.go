@@ -10,6 +10,7 @@ import (
 func TestErrcheckSim(t *testing.T) {
 	analysistest.Run(t, errchecksim.Analyzer,
 		"clumsy/internal/app",
+		"clumsy/internal/cluster",
 		"example.com/util",
 	)
 }

@@ -1,0 +1,21 @@
+// Fixture: dropped errors in the fleet simulator. The SLO report writers
+// and node lifecycle calls all return errors that must not vanish.
+package cluster
+
+import "fmt"
+
+type node struct{}
+
+func (n *node) Close() error { return nil }
+
+type report struct{}
+
+func (r *report) WriteJSON() error { return nil }
+
+func emit(r *report, n *node) {
+	r.WriteJSON() // want `error return of r.WriteJSON is silently dropped`
+	n.Close()     // want `error return of n.Close is silently dropped`
+	_ = r.WriteJSON()
+	fmt.Println("fleet done") // fmt print family: exempt
+	n.Close()                 //lint:errcheck-ok — fixture: deliberate drop
+}

@@ -15,4 +15,7 @@ func instrument(reg *telemetry.Registry, dyn string) {
 	reg.Histogram("run.count").Observe(1)                         // want `unregistered telemetry histogram name "run.count"`
 	reg.Counter(dyn).Inc()                                        // want `non-constant telemetry counter name`
 	reg.Counter(telemetry.CacheCounterName("l1d", "reads")).Inc() //lint:telemname-dynamic fixture
+	reg.Counter(telemetry.CtrClusterArrivals).Inc()               // fleet counter constant: ok
+	reg.Histogram(telemetry.HistClusterLatency).Observe(1)        // fleet histogram constant: ok
+	reg.Counter("cluster.arrivles").Inc()                         // want `unregistered telemetry counter name "cluster.arrivles"`
 }

@@ -81,6 +81,20 @@ const (
 	CtrCampaignCellsSkipped    = "campaign.cells_skipped"
 	CtrCampaignCellsRetried    = "campaign.cells_retried"
 	CtrCampaignCellsTimedOut   = "campaign.cells_timed_out"
+	CtrClusterArrivals         = "cluster.arrivals"
+	CtrClusterAdmitted         = "cluster.admitted"
+	CtrClusterShed             = "cluster.shed"
+	CtrClusterDispatched       = "cluster.dispatched"
+	CtrClusterCompleted        = "cluster.completed"
+	CtrClusterNodeDrops        = "cluster.node_drops"
+	CtrClusterRedispatched     = "cluster.failover_redispatched"
+	CtrClusterDegradations     = "cluster.degradations"
+	CtrClusterDrains           = "cluster.drains"
+	CtrClusterReclocks         = "cluster.reclocks"
+	CtrClusterProbations       = "cluster.probations"
+	CtrClusterRecoveries       = "cluster.recoveries"
+	CtrClusterDeaths           = "cluster.deaths"
+	CtrClusterSLOViolations    = "cluster.slo_violations"
 )
 
 // Registered histogram names.
@@ -88,6 +102,7 @@ const (
 	HistPacketInstructions = "packet.instructions"
 	HistPacketCycles       = "packet.cycles"
 	HistExperimentRunMS    = "experiment.run_ms"
+	HistClusterLatency     = "cluster.latency_ticks"
 )
 
 // Registered trace-event types.
@@ -105,6 +120,8 @@ const (
 	EventLineDisable    = "line_disable"
 	EventBurstEnter     = "burst_enter"
 	EventBurstExit      = "burst_exit"
+	EventNodeTransition = "node_transition"
+	EventNodeReclock    = "node_reclock"
 )
 
 // CacheLevels are the per-level counter families of the memory hierarchy.
@@ -172,10 +189,25 @@ func init() {
 		{CtrCampaignCellsSkipped, KindCounter, "campaign grid cells satisfied from the resume journal"},
 		{CtrCampaignCellsRetried, KindCounter, "campaign grid cell attempts retried after a transient host failure"},
 		{CtrCampaignCellsTimedOut, KindCounter, "campaign grid cells failed by the per-cell wall-clock deadline"},
+		{CtrClusterArrivals, KindCounter, "packets arrived at the fleet dispatcher"},
+		{CtrClusterAdmitted, KindCounter, "packets admitted past fleet admission control"},
+		{CtrClusterShed, KindCounter, "packets shed by admission control or full queues"},
+		{CtrClusterDispatched, KindCounter, "packets enqueued to a node by the dispatcher"},
+		{CtrClusterCompleted, KindCounter, "packets completed by fleet nodes"},
+		{CtrClusterNodeDrops, KindCounter, "packets dropped by node-level fault containment"},
+		{CtrClusterRedispatched, KindCounter, "queued packets re-dispatched to survivors off a failed node"},
+		{CtrClusterDegradations, KindCounter, "node transitions into the degraded health state"},
+		{CtrClusterDrains, KindCounter, "node transitions into the draining health state"},
+		{CtrClusterReclocks, KindCounter, "drain-complete re-clock actions applied to nodes"},
+		{CtrClusterProbations, KindCounter, "nodes re-admitted to dispatch on probation"},
+		{CtrClusterRecoveries, KindCounter, "nodes recovered from probation to healthy"},
+		{CtrClusterDeaths, KindCounter, "nodes declared dead and ejected from the fleet"},
+		{CtrClusterSLOViolations, KindCounter, "completed packets whose latency exceeded the SLO"},
 
 		{HistPacketInstructions, KindHistogram, "instructions per completed packet"},
 		{HistPacketCycles, KindHistogram, "cycles per completed packet"},
 		{HistExperimentRunMS, KindHistogram, "wall-clock milliseconds per grid run"},
+		{HistClusterLatency, KindHistogram, "queueing+service latency in virtual ticks per completed fleet packet"},
 
 		{EventRunStart, KindEvent, "configuration of a starting run"},
 		{EventRunEnd, KindEvent, "outcome of a finished run"},
@@ -190,6 +222,8 @@ func init() {
 		{EventLineDisable, KindEvent, "one L1D frame disabled after exhausting its strike budget"},
 		{EventBurstEnter, KindEvent, "burst process entered the bad (droop episode) state"},
 		{EventBurstExit, KindEvent, "burst process returned to the good state"},
+		{EventNodeTransition, KindEvent, "one fleet-node health state transition"},
+		{EventNodeReclock, KindEvent, "one drain-complete re-clock of a fleet node"},
 	}
 	for _, level := range CacheLevels {
 		for _, ev := range cacheEvents {

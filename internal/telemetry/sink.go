@@ -304,6 +304,32 @@ func (rt *RunTrace) BurstExit(episode uint64) {
 	rt.end(b)
 }
 
+// NodeTransition records one fleet-node health state transition: the node
+// index, the states left and entered, and the evidence that drove it.
+func (rt *RunTrace) NodeTransition(node int, from, to, reason string) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventNodeTransition)
+	b = appendInt(b, "node", int64(node))
+	b = appendStr(b, "from", from)
+	b = appendStr(b, "to", to)
+	b = appendStr(b, "reason", reason)
+	rt.end(b)
+}
+
+// NodeReclock records one drain-complete re-clock: the node index and the
+// relative cycle time it was re-clocked to.
+func (rt *RunTrace) NodeReclock(node int, cr float64) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventNodeReclock)
+	b = appendInt(b, "node", int64(node))
+	b = appendFloat(b, "cr", cr)
+	rt.end(b)
+}
+
 // StateRestore records one fault-containment recovery: after dropping the
 // given packet, the control-plane state was rolled back to the last packet
 // boundary by restoring `pages` dirty pages of simulated memory.
