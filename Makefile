@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint fmt vet clumsylint race bench fleet
+.PHONY: all build test lint fmt vet clumsylint lint-self lint-mutation race bench fleet
 
 all: build lint test
 
@@ -17,8 +17,11 @@ race:
 	$(GO) test -race -timeout 10m ./...
 
 # lint is the full static-analysis gate: standard vet, formatting drift,
-# and the project's own invariant analyzers (see internal/lint).
-lint: vet fmt clumsylint
+# the project's own invariant analyzers over the whole tree, the
+# analyzers over themselves, and the mutation tests that prove each
+# analyzer still catches its bug class (see internal/lint and
+# DESIGN.md "Enforced invariants").
+lint: vet fmt clumsylint lint-self lint-mutation
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +34,16 @@ fmt:
 
 clumsylint:
 	$(GO) run ./cmd/clumsylint ./...
+
+# lint-self: the analyzer suite must hold its own code to the same bar.
+lint-self:
+	$(GO) run ./cmd/clumsylint ./internal/lint/... ./cmd/clumsylint/...
+
+# lint-mutation: golden fixtures plus the mutation tests (deleted
+# snapshot copy, dropped fingerprint input, de-annotated hot path,
+# removed switch arm — each must be caught by its analyzer).
+lint-mutation:
+	$(GO) test -run 'TestMutation|TestAnnotationRemoval' ./internal/lint/...
 
 # bench writes an auto-numbered BENCH_<n>.json performance snapshot of the
 # quick matrix (drop -quick for the full one). Diff two snapshots with

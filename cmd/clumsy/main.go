@@ -575,8 +575,9 @@ func execute(cmd string, o cliOpts, w io.Writer) error {
 }
 
 // describeNames prints the telemetry name registry — the same table the
-// telemnames analyzer enforces — so dashboards and scripts can discover
-// every instrument and event the simulator can emit.
+// telemnames analyzer enforces (one of the nine clumsylint invariants;
+// see DESIGN.md "Enforced invariants") — so dashboards and scripts can
+// discover every instrument and event the simulator can emit.
 func describeNames(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
 	kind := telemetry.Kind(-1)
@@ -710,6 +711,8 @@ func report(w io.Writer, res *clumsy.Result) error {
 		}
 	}
 	switch cfg.Regime {
+	case clumsy.RegimePaper:
+		// The memoryless regime has no regime-specific counters to print.
 	case clumsy.RegimeBurst:
 		fmt.Fprintf(w, "burst: %d bad-state episodes\n", res.BurstEpisodes)
 	case clumsy.RegimePermanent:

@@ -1,45 +1,70 @@
-// Command clumsylint is the project's determinism/accounting/telemetry
-// invariant checker: a multichecker over the five analyzers in
-// internal/lint. It exits non-zero when any invariant is violated and is a
+// Command clumsylint is the project's invariant checker: a multichecker
+// over the nine analyzers in internal/lint plus the stale-directive
+// sweep. It exits non-zero when any invariant is violated and is a
 // required CI job alongside go vet and staticcheck.
 //
 // Usage:
 //
-//	go run ./cmd/clumsylint [-list] [packages]
+//	go run ./cmd/clumsylint [-list] [-json] [-out file] [packages]
 //
-// With no package patterns it checks ./... . Each analyzer documents an
-// in-source escape-hatch directive for deliberate exceptions; see
-// DESIGN.md ("Static analysis") for the invariant catalogue.
+// With no package patterns it checks ./... . Findings are deduplicated
+// and printed in deterministic position order. -json emits them as a
+// JSON array of {file,line,col,analyzer,message} records; with -out the
+// records are written atomically (via internal/atomicio) so CI can
+// annotate PRs from a stable artifact. Exit status: 0 clean, 1 findings,
+// 2 error — regardless of output mode.
+//
+// Each analyzer documents an in-source escape-hatch directive for
+// deliberate exceptions; see DESIGN.md ("Enforced invariants") for the
+// catalogue.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
 
+	"clumsy/internal/atomicio"
+	"clumsy/internal/lint/allocfree"
 	"clumsy/internal/lint/analysis"
 	"clumsy/internal/lint/cycleacct"
 	"clumsy/internal/lint/detwalk"
+	"clumsy/internal/lint/driver"
 	"clumsy/internal/lint/errchecksim"
+	"clumsy/internal/lint/exhaustive"
 	"clumsy/internal/lint/floatcmp"
-	"clumsy/internal/lint/load"
+	"clumsy/internal/lint/fpcover"
+	"clumsy/internal/lint/staledirect"
+	"clumsy/internal/lint/statecover"
 	"clumsy/internal/lint/telemnames"
 )
 
-// analyzers is the full clumsylint suite, in report order.
-var analyzers = []*analysis.Analyzer{
-	detwalk.Analyzer,
-	cycleacct.Analyzer,
-	telemnames.Analyzer,
-	errchecksim.Analyzer,
-	floatcmp.Analyzer,
-}
+// analyzers is the full clumsylint suite, in run order. The stale
+// directive sweep is appended last so it sees the whole suite's
+// directive consumption.
+var analyzers = func() []*analysis.Analyzer {
+	suite := []*analysis.Analyzer{
+		detwalk.Analyzer,
+		cycleacct.Analyzer,
+		telemnames.Analyzer,
+		errchecksim.Analyzer,
+		floatcmp.Analyzer,
+		statecover.Analyzer,
+		fpcover.Analyzer,
+		allocfree.Analyzer,
+		exhaustive.Analyzer,
+	}
+	return append(suite, staledirect.New(suite))
+}()
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON records")
+	out := flag.String("out", "", "write JSON findings atomically to this file (implies -json)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: clumsylint [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: clumsylint [-list] [-json] [-out file] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,45 +74,57 @@ func main() {
 		}
 		return
 	}
-	n, err := check(flag.Args())
+
+	findings, err := driver.Run(".", analyzers, flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clumsylint:", err)
 		os.Exit(2)
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "clumsylint: %d finding(s)\n", n)
+	if err := emit(findings, *asJSON || *out != "", *out); err != nil {
+		fmt.Fprintln(os.Stderr, "clumsylint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "clumsylint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
 
-// check loads the packages and applies every analyzer, printing findings
-// in position order. It returns the number of findings.
-func check(patterns []string) (int, error) {
-	pkgs, err := load.Load(".", patterns...)
-	if err != nil {
-		return 0, err
-	}
-	total := 0
-	for _, pkg := range pkgs {
-		var diags []analysis.Diagnostic
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				return total, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
-			}
+// record is one finding in the JSON output schema.
+type record struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// emit prints the findings: canonical text lines on stdout, or JSON
+// records (to stdout, or atomically to path when set).
+func emit(findings []driver.Finding, asJSON bool, path string) error {
+	if !asJSON {
+		for _, f := range findings {
+			fmt.Println(f)
 		}
-		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-		for _, d := range diags {
-			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer.Name)
-		}
-		total += len(diags)
+		return nil
 	}
-	return total, nil
+	records := make([]record, len(findings))
+	for i, f := range findings {
+		records[i] = record{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+	}
+	write := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	if path != "" {
+		return atomicio.WriteFile(path, write)
+	}
+	return write(os.Stdout)
 }

@@ -85,7 +85,11 @@ type Backend interface {
 // line is one cache line with per-word parity. The dead/strike fields
 // belong to the line-disable recovery action of the L1 data cache; other
 // levels never set them. A dead line is always invalid (disable
-// invalidates it), so the hit path needs no extra check.
+// invalidates it), so the hit path needs no extra check. Every field is
+// part of the rollback surface: statecover requires the snapshot pair to
+// carry any field added here.
+//
+//lint:checkpoint snapshot, restore
 type line struct {
 	valid  bool
 	dirty  bool
@@ -105,12 +109,16 @@ type line struct {
 
 // table is the shared set-associative storage and lookup machinery used by
 // every cache level.
+//
+//lint:checkpoint snapshot, restore
 type table struct {
-	cfg      Config
-	sets     [][]line
+	cfg  Config
+	sets [][]line
+	//lint:ephemeral derived from the geometry at construction, never mutated
 	setShift uint
-	setMask  uint32
-	tick     uint64
+	//lint:ephemeral derived from the geometry at construction, never mutated
+	setMask uint32
+	tick    uint64
 }
 
 func newTable(cfg Config) (*table, error) {
@@ -224,6 +232,8 @@ type lineState struct {
 // tableSnap is a deep copy of a table's restorable state. Statistics and
 // energy are deliberately not part of it: a fault-containment rollback
 // rewinds the machine's contents, not its measurements.
+//
+//lint:checkpoint snapshot, restore
 type tableSnap struct {
 	meta []lineState
 	data []byte
@@ -239,12 +249,12 @@ func (t *table) snapshot(snap *tableSnap) *tableSnap {
 	nline := len(t.sets) * t.cfg.Assoc
 	bs := t.cfg.BlockSize
 	if snap == nil {
-		snap = &tableSnap{}
+		snap = &tableSnap{} //lint:alloc-ok first use only; the steady state reuses these buffers and the zero-alloc pin verifies it
 	}
 	if len(snap.meta) != nline {
-		snap.meta = make([]lineState, nline)
-		snap.data = make([]byte, nline*bs)
-		snap.par = make([]byte, nline*(bs/4))
+		snap.meta = make([]lineState, nline)  //lint:alloc-ok first use only; the steady state reuses these buffers and the zero-alloc pin verifies it
+		snap.data = make([]byte, nline*bs)    //lint:alloc-ok first use only; the steady state reuses these buffers and the zero-alloc pin verifies it
+		snap.par = make([]byte, nline*(bs/4)) //lint:alloc-ok first use only; the steady state reuses these buffers and the zero-alloc pin verifies it
 	}
 	i := 0
 	for s := range t.sets {
@@ -257,7 +267,7 @@ func (t *table) snapshot(snap *tableSnap) *tableSnap {
 			copy(snap.par[i*(bs/4):], ln.parity)
 			if ln.enc != nil {
 				if len(snap.enc) != nline*(bs/4) {
-					snap.enc = make([]uint32, nline*(bs/4))
+					snap.enc = make([]uint32, nline*(bs/4)) //lint:alloc-ok first use only; the steady state reuses these buffers and the zero-alloc pin verifies it
 				}
 				copy(snap.enc[i*(bs/4):], ln.enc)
 			}

@@ -18,12 +18,16 @@ var (
 )
 
 // Hierarchy bundles the full simulated memory system.
+//
+//lint:checkpoint Snapshot, RestoreSnapshot
 type Hierarchy struct {
+	//lint:ephemeral rolled back separately through its own simmem.Checkpoint
 	Space *simmem.Space
-	Mem   *MainMemory
-	L2    *L2
-	L1D   *L1Data
-	L1I   *L1Instr
+	//lint:ephemeral holds no restorable state of its own: its contents are the Space
+	Mem *MainMemory
+	L2  *L2
+	L1D *L1Data
+	L1I *L1Instr
 }
 
 // HierarchyConfig describes a full memory system; zero-valued fields fall
@@ -111,9 +115,11 @@ type Snapshot struct {
 // Snapshot copies the current cache state into snap, reusing its buffers
 // when possible; pass nil to allocate a fresh one. Taking a snapshot has no
 // architectural effect — no accesses, write-backs, stats, or energy.
+//
+//lint:hot-path
 func (h *Hierarchy) Snapshot(snap *Snapshot) *Snapshot {
 	if snap == nil {
-		snap = &Snapshot{}
+		snap = &Snapshot{} //lint:alloc-ok first use only; the steady state reuses these buffers and the zero-alloc pin verifies it
 	}
 	snap.l1d = h.L1D.tab.snapshot(snap.l1d)
 	snap.l1i = h.L1I.tab.snapshot(snap.l1i)
@@ -125,6 +131,8 @@ func (h *Hierarchy) Snapshot(snap *Snapshot) *Snapshot {
 // every level holds exactly the lines it held at the snapshot moment, so a
 // continuation reads the same values — including the same hit/miss and
 // write-back behaviour — as an execution that never deviated after it.
+//
+//lint:hot-path
 func (h *Hierarchy) RestoreSnapshot(snap *Snapshot) {
 	h.L1D.tab.restore(snap.l1d)
 	h.L1I.tab.restore(snap.l1i)

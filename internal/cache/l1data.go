@@ -11,6 +11,8 @@ import (
 
 // Detection selects the fault-detection scheme of the L1 data cache
 // (Section 4: a parity-protected architecture and one without detection).
+//
+//lint:exhaustive
 type Detection int
 
 const (
@@ -29,6 +31,8 @@ const (
 
 func (d Detection) String() string {
 	switch d {
+	case DetectionNone:
+		return "no detection"
 	case DetectionParity:
 		return "parity"
 	case DetectionECC:
@@ -65,44 +69,68 @@ type EnergyWeights struct {
 // L1Data is the clumsy level-1 data cache: write-back, write-allocate,
 // frequency-scaled, fault-injected, optionally parity-protected with
 // k-strike recovery. It implements simmem.Memory, so applications run on it
-// unchanged.
+// unchanged. The rollback surface is the line table (deep-copied by the
+// hierarchy snapshot) plus the disabled-frame count (recounted by
+// syncDisabled — the PR 5 restore bug this annotation now pins); every
+// other field documents why it survives a rollback.
+//
+//lint:checkpoint Snapshot, RestoreSnapshot, syncDisabled
 type L1Data struct {
-	tab  *table
+	tab *table
+	//lint:ephemeral topology wiring, immutable after construction
 	next Backend
 
-	injector  fault.Process
+	//lint:ephemeral fault-process time advances monotonically; a drop never rewinds the fault environment
+	injector fault.Process
+	//lint:ephemeral configuration, immutable during a run
 	detection Detection
-	strikes   int  // 1, 2, or 3; L1 attempts before recovering via L2
-	subBlock  bool // recover single words from L2 instead of whole lines
+	//lint:ephemeral configuration, immutable during a run
+	strikes int // 1, 2, or 3; L1 attempts before recovering via L2
+	//lint:ephemeral configuration, immutable during a run
+	subBlock bool // recover single words from L2 instead of whole lines
 
 	// Line-disable recovery (dormant unless armed via SetLineDisable):
 	// after disableStrikes uncorrected strikes on one frame within
 	// disableWindow accesses, the frame is marked dead and its set
 	// degrades to fewer ways. A frequency drop re-enables dead frames —
 	// the marginal cells that killed them get slower cycles to settle.
-	disableStrikes int    // 0 = line disable off (paper semantics)
-	disableWindow  uint64 // strike window, in L1D accesses
-	deadLines      int    // currently disabled frames
-	epochSeq       uint32 // controller epoch counter for spatial evidence
-	epochDistinct  int    // distinct frames that faulted this epoch
+	//lint:ephemeral configuration, immutable during a run
+	disableStrikes int // 0 = line disable off (paper semantics)
+	//lint:ephemeral configuration, immutable during a run
+	disableWindow uint64 // strike window, in L1D accesses
+	deadLines     int    // currently disabled frames
+	//lint:ephemeral controller health evidence; a rollback rewinds contents, not evidence
+	epochSeq uint32 // controller epoch counter for spatial evidence
+	//lint:ephemeral controller health evidence; a rollback rewinds contents, not evidence
+	epochDistinct int // distinct frames that faulted this epoch
 
-	cr   float64 // relative cycle time of this cache
-	vsr  float64 // relative voltage swing at cr
-	lat  float64 // current access latency in core cycles (Latency * cr)
-	fill []byte  // scratch line buffer
+	//lint:ephemeral physical operating point; re-clocking is a ladder decision, not memory contents
+	cr float64 // relative cycle time of this cache
+	//lint:ephemeral physical operating point; re-clocking is a ladder decision, not memory contents
+	vsr float64 // relative voltage swing at cr
+	//lint:ephemeral physical operating point; re-clocking is a ladder decision, not memory contents
+	lat float64 // current access latency in core cycles (Latency * cr)
+	//lint:ephemeral scratch buffer, dead outside a single access
+	fill []byte // scratch line buffer
+	//lint:ephemeral scratch buffer, dead outside a single access
 	word [4]byte // scratch word buffer; local arrays escape through the next-level interface
 
 	// rt, when non-nil, receives structured trace events for injected
 	// faults and recovery steps. It is nil by default, so the hit path is
 	// untouched and the (already rare) fault path pays one branch.
+	//lint:ephemeral telemetry sink, not machine state
 	rt *telemetry.RunTrace
 
-	Stats    Stats
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
+	Stats Stats
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
 	Recovery RecoveryStats
-	Energy   EnergyWeights
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
+	Energy EnergyWeights
 
 	// Cycles accumulates the data-access stall cycles of the run; the
 	// execution engine folds it into the per-packet cycle counts.
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
 	Cycles float64
 
 	// Breakdown shadows Cycles with per-component attribution: every
@@ -110,6 +138,7 @@ type L1Data struct {
 	// one bucket (L1D array, L2, Mem, or Recovery), so the data-side
 	// buckets always sum to Cycles. The Compute/L1I/FreqPenalty buckets
 	// are folded in by the run machinery at the end of a run.
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
 	Breakdown CycleBreakdown
 
 	// mem, when non-nil, points at the main memory at the bottom of this
@@ -117,6 +146,7 @@ type L1Data struct {
 	// backend calls to split reported stalls into L2 and memory buckets.
 	// Nil (an L1D built over an arbitrary backend) attributes all
 	// non-recovery backend stalls to the L2 bucket.
+	//lint:ephemeral topology wiring, immutable after construction
 	mem *MainMemory
 }
 
@@ -564,7 +594,9 @@ func (c *L1Data) readWord(addr simmem.Addr) (uint32, error) {
 			}
 			// Double-bit: detected but uncorrectable; fall through to the
 			// strike/recovery machinery below.
-		default: // parity
+		case DetectionParity:
+			fallthrough
+		default: // any unrecognised scheme behaves like parity
 			if wordParity(v) == ln.parity[w/4] {
 				return v, nil
 			}

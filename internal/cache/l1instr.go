@@ -8,13 +8,19 @@ import "clumsy/internal/simmem"
 // reports miss stall cycles; the fetched bytes themselves are irrelevant to
 // the simulation (applications are host code), so the cache tracks only
 // tags.
+//
+//lint:checkpoint Snapshot, RestoreSnapshot
 type L1Instr struct {
-	tab   *table
-	next  Backend
-	fill  []byte
+	tab *table
+	//lint:ephemeral topology wiring, immutable after construction
+	next Backend
+	//lint:ephemeral scratch buffer, dead outside a single fetch
+	fill []byte
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
 	Stats Stats
 
 	// Cycles accumulates fetch stall cycles (hits are fully pipelined).
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
 	Cycles float64
 }
 

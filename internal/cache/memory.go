@@ -51,9 +51,13 @@ var _ Backend = (*MainMemory)(nil)
 // L2 is the shared, unified second-level cache. It always runs at full
 // swing: its contents are correct unless a corrupted line is written back
 // from L1 (Section 4). Write-back, write-allocate.
+//
+//lint:checkpoint Snapshot, RestoreSnapshot
 type L2 struct {
-	tab   *table
-	next  Backend
+	tab *table
+	//lint:ephemeral topology wiring, immutable after construction
+	next Backend
+	//lint:ephemeral measurement; a rollback rewinds contents, not measurements
 	Stats Stats
 }
 

@@ -24,18 +24,31 @@ const instrsPerFetch = 8
 // engine models the execution core: single-issue, one cycle per
 // instruction, with instruction fetch through the L1I and data access
 // through the (possibly clumsy) L1D.
+// Engine state deliberately survives a packet rollback: burned cycles and
+// executed instructions are real even when the packet's memory effects are
+// discarded. The per-packet boundary is beginPacket, which re-bases the
+// watchdog; everything else carries a reason.
+//
+//lint:checkpoint beginPacket
 type engine struct {
-	hier     *cache.Hierarchy
+	//lint:ephemeral topology wiring, immutable after construction
+	hier *cache.Hierarchy
+	//lint:ephemeral layout constant fixed at construction
 	codeBase simmem.Addr
 
-	instrs uint64  // instructions executed
-	core   float64 // core cycles (1 per instruction); stalls live in the caches
+	instrs uint64 // instructions executed
+	//lint:ephemeral cycles spent are real even when a packet is rolled back
+	core float64 // core cycles (1 per instruction); stalls live in the caches
+	//lint:ephemeral cycles spent are real even when a packet is rolled back
 	burned float64 // core cycles spun away by watchdog kills (subset of core)
 
-	curBlock   int
+	//lint:ephemeral fetch-locality state; the next packet re-fetches anyway
+	curBlock int
+	//lint:ephemeral fetch-locality state; the next packet re-fetches anyway
 	sinceFetch int
 
 	// Watchdog state.
+	//lint:ephemeral configuration, immutable during a run
 	budget      uint64 // per-packet instruction limit (0 = unlimited)
 	packetStart uint64 // instrs at the start of the current packet
 }
@@ -113,6 +126,8 @@ func (e *engine) checkBudget() error {
 }
 
 // beginPacket resets the watchdog window.
+//
+//lint:hot-path
 func (e *engine) beginPacket() { e.packetStart = e.instrs }
 
 // packetInstrs returns the instructions spent on the current packet so far.

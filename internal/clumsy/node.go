@@ -157,7 +157,9 @@ func OpenNode(cfg Config, trace *packet.Trace, cal Calibration) (*Node, error) {
 			l1dBytes = cache.DefaultL1D.SizeBytes
 		}
 		proc = fault.NewStuckAt(inner, seedRNG.Fork(0x57ac), l1dBytes/4, fault.DefaultStuckAtParams())
-	default:
+	case RegimePaper:
+		fallthrough
+	default: // unknown regimes fall back to the paper process
 		proc = fault.NewInjector(model, seedRNG.Fork(0xfa17), 32)
 	}
 	proc.SetEnabled(false)

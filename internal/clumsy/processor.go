@@ -45,6 +45,8 @@ func (p Planes) String() string {
 
 // RecoveryPolicy selects what the faulty run does when a fatal error
 // strikes during packet processing.
+//
+//lint:exhaustive
 type RecoveryPolicy int
 
 const (
@@ -72,6 +74,8 @@ const (
 
 func (p RecoveryPolicy) String() string {
 	switch p {
+	case RecoverAbort:
+		return "abort"
 	case RecoverDrop:
 		return "drop"
 	case RecoverDegrade:
@@ -96,6 +100,8 @@ func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
 }
 
 // FaultRegime selects the statistical structure of the injected faults.
+//
+//lint:exhaustive
 type FaultRegime int
 
 const (
@@ -115,6 +121,8 @@ const (
 
 func (r FaultRegime) String() string {
 	switch r {
+	case RegimePaper:
+		return "paper"
 	case RegimeBurst:
 		return "burst"
 	case RegimePermanent:
@@ -165,33 +173,48 @@ var ErrAppPanic = errors.New("clumsy: application panicked")
 // which the processor is considered failed rather than clumsy.
 var ErrDropRateExceeded = errors.New("clumsy: drop rate exceeded MaxDropRate")
 
-// Config describes one simulation run.
+// Config describes one simulation run. Every field that can change a
+// Result must flow into the campaign fingerprint — by name, through a
+// study's Extra cell parameters, or not at all with a documented reason;
+// the fpcover analyzer enforces the classification.
+//
+//lint:fingerprint-source
 type Config struct {
+	//lint:fingerprint-extra per-app studies encode the app in the study name
 	App     string // NetBench application name
 	Packets int    // trace length
 	Seed    uint64 // experiment seed (trace + fault stream)
 
+	//lint:fingerprint-extra operating-point grids carry the cycle time in Extra
 	CycleTime float64 // static relative cycle time of the L1D (ignored when Dynamic)
-	Dynamic   bool    // use the frequency-adaptation controller
+	//lint:fingerprint-extra scheme cells name static/dynamic in Extra
+	Dynamic bool // use the frequency-adaptation controller
 
 	// Dynamic-controller overrides (zero = the paper's defaults: 100
 	// packets per epoch, X1 = 2.0, X2 = 0.8). Used by the threshold
 	// tuning study.
+	//lint:fingerprint-extra the threshold-tuning study fingerprints its grid point in Extra
 	EpochPackets int
-	X1, X2       float64
+	//lint:fingerprint-extra the threshold-tuning study fingerprints its grid point in Extra
+	X1, X2 float64
 
+	//lint:fingerprint-extra detection-scheme cells carry the scheme in Extra
 	Detection cache.Detection
-	Strikes   int // 1..3, recovery scheme under parity/ECC
+	//lint:fingerprint-extra detection-scheme cells carry the strike count in Extra
+	Strikes int // 1..3, recovery scheme under parity/ECC
 	// SubBlock selects sub-block (per-word) recovery instead of full-line
 	// invalidation — the extension of the paper's footnote 2.
+	//lint:fingerprint-extra sub-block cells carry the recovery granularity in Extra
 	SubBlock bool
 
 	FaultScale float64 // multiplier on the physical fault rate (1 = paper)
-	Planes     Planes  // which planes receive faults
+	//lint:fingerprint-extra the error-behaviour study passes the plane as Extra
+	Planes Planes // which planes receive faults
 
 	// Regime selects the fault process of the faulty run: the paper's
 	// memoryless process (the default), Gilbert–Elliott bursts, or the
 	// permanent/intermittent stuck-at overlay.
+	//lint:fingerprint-extra the reliability study names the regime in Extra
 	Regime FaultRegime
 
 	// LineDisableStrikes arms per-line strike tracking: after this many
@@ -199,18 +222,22 @@ type Config struct {
 	// accesses, the frame is disabled. Zero leaves the mechanism off
 	// unless Recovery is RecoverDegrade, which falls back to
 	// DefaultLineDisableStrikes/DefaultLineDisableWindow.
+	//lint:fingerprint-extra ladder cells carry the line-disable setting in Extra
 	LineDisableStrikes int
-	LineDisableWindow  uint64
+	//lint:fingerprint-extra ladder cells carry the line-disable setting in Extra
+	LineDisableWindow uint64
 
 	// PreDisableFrac force-disables this fraction of L1D frames before
 	// the faulty run starts — the x-axis control of the graceful-
 	// degradation curve. The frames are pinned: frequency drops do not
 	// re-enable them.
+	//lint:fingerprint-extra the degradation curve sweeps this as its Extra axis
 	PreDisableFrac float64
 
 	// MinDwellEpochs, under the dynamic scheme, is the minimum number of
 	// controller epochs between applied operating-point changes. Zero
 	// (the default) keeps the paper's undamped semantics.
+	//lint:fingerprint-extra the DVS study fingerprints its dwell setting in Extra
 	MinDwellEpochs int
 
 	// WatchdogFactor bounds per-packet instructions at this multiple of
@@ -219,6 +246,7 @@ type Config struct {
 	// declared dead, and the burned cycles count toward the run — which is
 	// what makes fatal configurations expensive in the EDF metric, as in
 	// the paper's off-scale bars. Zero selects the default of 500.
+	//lint:fingerprint-exempt fixed default across every study; no cell varies it
 	WatchdogFactor float64
 
 	// Recovery selects the fatal-error policy of the faulty run:
@@ -236,10 +264,12 @@ type Config struct {
 	MaxDropRate float64
 
 	// SpaceBytes overrides the simulated memory size (0 = auto).
+	//lint:fingerprint-extra geometry cells carry their sizing in Extra
 	SpaceBytes int
 
 	// L1DSize overrides the L1 data cache capacity in bytes (0 = the
 	// StrongARM default of 4 KB); used by the geometry ablation.
+	//lint:fingerprint-extra the geometry ablation sweeps this as its Extra axis
 	L1DSize int
 
 	// Telemetry, when non-nil, receives counters and structured trace
@@ -247,6 +277,7 @@ type Config struct {
 	// falls back to the process-wide hub installed with
 	// SetDefaultTelemetry; when that is nil too, telemetry is off and the
 	// simulation hot paths are untouched.
+	//lint:fingerprint-exempt observability wiring, cannot change a Result
 	Telemetry *telemetry.Telemetry
 }
 
@@ -502,7 +533,9 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 		}
 		stuck = fault.NewStuckAt(inner, seedRNG.Fork(0x57ac), l1dBytes/4, fault.DefaultStuckAtParams())
 		proc = stuck
-	default:
+	case RegimePaper:
+		fallthrough
+	default: // unknown regimes fall back to the paper process
 		proc = fault.NewInjector(model, seedRNG.Fork(0xfa17), 32)
 	}
 	proc.SetEnabled(false)
@@ -792,10 +825,12 @@ func runSetup(app apps.App, ctx *apps.Context, trace *packet.Trace) (err error) 
 // value and panic in host code (slice bounds, division by zero); the
 // recover here turns that into a fatal error the packet loop can contain
 // or abort on, exactly like a watchdog trip.
+//
+//lint:hot-path
 func processPacket(app apps.App, ctx *apps.Context, p *packet.Packet, buf simmem.Addr) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("%w: %v", ErrAppPanic, r)
+			err = fmt.Errorf("%w: %v", ErrAppPanic, r) //lint:alloc-ok app-panic diagnostic; a packet that completes never reaches it
 		}
 	}()
 	return app.Process(ctx, p, buf)
@@ -858,18 +893,20 @@ func isFatal(err error) bool {
 // store, invalidating any stale cached copies of the range (a wild read
 // through a corrupted pointer may have cached lines of the buffer region
 // before the packet arrived).
+//
+//lint:hot-path
 func dmaPacket(h *cache.Hierarchy, p *packet.Packet) (simmem.Addr, error) {
 	size := (packet.HeaderLen + len(p.Payload) + 31) &^ 31
-	buf, err := h.Space.Alloc(size, 32)
+	buf, err := h.Space.Alloc(size, 32) //lint:alloc-ok Alloc allocates only on its out-of-arena error path
 	if err != nil {
 		return 0, err
 	}
 	hdr := p.Header()
-	if err := h.DMA(buf, hdr[:]); err != nil {
+	if err := h.DMA(buf, hdr[:]); err != nil { //lint:alloc-ok DMA allocates only its fault-diagnostic AccessError
 		return 0, err
 	}
 	if len(p.Payload) > 0 {
-		if err := h.DMA(buf+packet.HeaderLen, p.Payload); err != nil {
+		if err := h.DMA(buf+packet.HeaderLen, p.Payload); err != nil { //lint:alloc-ok DMA allocates only its fault-diagnostic AccessError
 			return 0, err
 		}
 	}

@@ -19,18 +19,28 @@ type job struct {
 }
 
 // member is one node plus the fleet's bookkeeping about it.
+// The lifecycle surface is the escalation ladder — startDrain, finishDrain,
+// die — which must touch (or deliberately carry) every per-node field, or a
+// node re-entering rotation keeps stale state from its previous life.
+//
+//lint:checkpoint startDrain, finishDrain, die
 type member struct {
 	node  *clumsy.Node
 	state NodeState
 	queue []job
 
-	busy      bool
+	busy bool
+	//lint:ephemeral in-flight service state, dead once the completion event fires
 	busyUntil float64
-	cur       job
-	out       clumsy.NodeOutcome
+	//lint:ephemeral in-flight service state, dead once the completion event fires
+	cur job
+	//lint:ephemeral in-flight service state, dead once the completion event fires
+	out clumsy.NodeOutcome
 
-	ewma    float64 // EWMA service time (ticks/packet), the capacity estimate
-	cr      float64 // current static operating point
+	//lint:ephemeral capacity estimate deliberately carried across drains
+	ewma float64 // EWMA service time (ticks/packet), the capacity estimate
+	cr   float64 // current static operating point
+	//lint:ephemeral workload property of the node, not lifecycle state
 	hostile bool
 
 	lastHealth      clumsy.NodeHealth // snapshot at the last window boundary
@@ -334,6 +344,9 @@ func (f *fleet) assess(i int) {
 	v := f.cfg.Health.judge(w)
 	reason := fmt.Sprintf("window drop=%.3f disabled=%.3f", w.dropRate(), w.disabledFrac)
 
+	// Draining nodes are already on their way out and dead nodes never
+	// serve a window, so the lifecycle switch only judges serving states.
+	//lint:exhaustive-ok draining nodes are already leaving; dead nodes never complete a window
 	switch m.state {
 	case StateHealthy:
 		switch v {
@@ -342,6 +355,8 @@ func (f *fleet) assess(i int) {
 		case verdictDegrade:
 			m.cleanWindows = 0
 			f.transition(i, StateDegraded, reason)
+		case verdictClean:
+			// Healthy stays healthy; there is no streak to reset.
 		}
 	case StateDegraded:
 		switch v {
@@ -352,7 +367,7 @@ func (f *fleet) assess(i int) {
 			if m.cleanWindows >= f.cfg.Health.HealthyWindows {
 				f.transition(i, StateHealthy, "recovered: "+reason)
 			}
-		default:
+		case verdictDegrade:
 			m.cleanWindows = 0
 		}
 	case StateProbation:

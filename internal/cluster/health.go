@@ -18,6 +18,8 @@ package cluster
 // Healthy, Degraded, and Probation nodes take traffic; Draining nodes
 // finish their queue but receive no new packets; Dead nodes are out and
 // their queued packets fail over to survivors.
+//
+//lint:exhaustive
 type NodeState int
 
 const (
@@ -138,6 +140,8 @@ func (w windowEvidence) dropRate() float64 {
 }
 
 // verdict classifies one window against the config's bars.
+//
+//lint:exhaustive
 type verdict int
 
 const (

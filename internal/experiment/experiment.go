@@ -16,7 +16,11 @@ import (
 // Options scale the simulation experiments. The defaults trade an
 // afternoon-scale simulation campaign for a minutes-scale one while keeping
 // the statistics meaningful; raise Packets and Trials to tighten the error
-// bars.
+// bars. Every field that can change a Result must flow into the journal
+// fingerprint (see Options.fingerprint) or carry a fingerprint annotation;
+// the fpcover analyzer enforces this.
+//
+//lint:fingerprint-source
 type Options struct {
 	Packets    int     // packets per run
 	Trials     int     // independent seeds averaged per configuration
@@ -37,6 +41,7 @@ type Options struct {
 	// starting and every grid stops issuing work once it is done, so a
 	// SIGINT propagates promptly instead of finishing the sweep. Nil means
 	// context.Background() (never cancelled).
+	//lint:fingerprint-exempt cancellation steers execution, not results
 	Ctx context.Context
 
 	// RunTimeout is the wall-clock deadline of one grid cell (one
@@ -44,6 +49,7 @@ type Options struct {
 	// configuration). A wedged cell fails with a diagnostic naming the
 	// study and cell instead of hanging the whole grid. Zero disables the
 	// watchdog.
+	//lint:fingerprint-exempt wall-clock guard; a timed-out cell errors rather than changing a Result
 	RunTimeout time.Duration
 
 	// Retries bounds how many times a cell is re-executed after a
@@ -52,11 +58,13 @@ type Options struct {
 	// application panics — are deterministic properties of the
 	// configuration and are never retried. Zero means fail on the first
 	// error.
+	//lint:fingerprint-exempt retries re-execute the same deterministic cell
 	Retries int
 
 	// RetryBackoff is the deterministic base delay between retry attempts;
 	// attempt k sleeps RetryBackoff << k. Zero with Retries > 0 uses a
 	// 100ms base.
+	//lint:fingerprint-exempt retry pacing, invisible to results
 	RetryBackoff time.Duration
 
 	// Journal, when non-nil, makes the campaign durable: every completed
@@ -64,11 +72,13 @@ type Options struct {
 	// cell index, and configuration) and cells already present are
 	// satisfied from the journal instead of recomputed, so a killed
 	// campaign resumes byte-identically.
+	//lint:fingerprint-exempt the journal handle is where fingerprints go, not an input to them
 	Journal *Journal
 
 	// afterCell, when non-nil, observes every computed (not
 	// journal-skipped) cell. Test hook: lets a test cancel Ctx mid-grid at
 	// a deterministic point.
+	//lint:fingerprint-exempt test observation hook, never changes a cell
 	afterCell func(study string, index int)
 }
 

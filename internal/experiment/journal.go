@@ -79,7 +79,7 @@ func OpenJournal(path string, resume bool) (*Journal, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("journal: %w", err)
 	}
-	defer f.Close() //lint:errcheck-ok — read-only handle, nothing to flush
+	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -159,7 +159,10 @@ func (j *Journal) record(key, study string, index int, result any) error {
 // JSON encoding of the study name, cell index, the result-determining
 // Options fields, and the study-specific cell parameters (scheme,
 // setting, thresholds, ...). Context, journal handle, and hooks are
-// excluded — they steer execution, not results.
+// excluded — they steer execution, not results. The fpcover analyzer
+// checks every fingerprint-source field against the id keys below.
+//
+//lint:fingerprint-sink
 func (o Options) fingerprint(study string, index int, extra any) string {
 	id := struct {
 		Study       string

@@ -10,13 +10,27 @@ package fault
 // fault experiments of Section 5.2 inject faults into only one execution
 // segment); while disabled, accesses pass through untouched and do not
 // advance the fault process.
+//
+// Fault time advances monotonically by design — a packet rollback never
+// rewinds the fault environment — so the only reset surface is the
+// per-epoch counter clear; a new counter that ResetCounters misses would
+// contaminate the next epoch's controller decision.
+//
+//lint:checkpoint ResetCounters
 type Injector struct {
-	model   *Model
-	rng     *RNG
-	bits    int
-	cr      float64
-	rate    float64
-	skip    int64 // fault-free accesses remaining before the next fault
+	//lint:ephemeral configuration, immutable during a run
+	model *Model
+	//lint:ephemeral fault-process position; fault time never rewinds
+	rng *RNG
+	//lint:ephemeral configuration, immutable during a run
+	bits int
+	//lint:ephemeral operating point, changed only by SetCycleTime
+	cr float64
+	//lint:ephemeral derived from the operating point by SetCycleTime
+	rate float64
+	//lint:ephemeral fault-process position; fault time never rewinds
+	skip int64 // fault-free accesses remaining before the next fault
+	//lint:ephemeral segment gating toggled by the experiment harness
 	enabled bool
 
 	// Counters for the run reports and the dynamic frequency controller.

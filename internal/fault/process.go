@@ -105,28 +105,45 @@ func DefaultBurstParams() BurstParams {
 // state at BadMultiplier times that rate. State residence times and fault
 // gaps are both geometric, so the process stays exactly reproducible from
 // the seed and costs no per-access draws.
+//
+//lint:checkpoint ResetCounters
 type Burst struct {
-	model   *Model
-	rng     *RNG
-	bits    int
-	p       BurstParams
-	cr      float64
+	//lint:ephemeral configuration, immutable during a run
+	model *Model
+	//lint:ephemeral fault-process position; fault time never rewinds
+	rng *RNG
+	//lint:ephemeral configuration, immutable during a run
+	bits int
+	//lint:ephemeral configuration, immutable during a run
+	p BurstParams
+	//lint:ephemeral operating point, changed only by SetCycleTime
+	cr float64
+	//lint:ephemeral segment gating toggled by the experiment harness
 	enabled bool
 
-	bad      bool
-	stay     int64 // accesses remaining in the current state
-	skip     int64 // fault-free accesses before the next fault
+	//lint:ephemeral fault-process position; fault time never rewinds
+	bad bool
+	//lint:ephemeral fault-process position; fault time never rewinds
+	stay int64 // accesses remaining in the current state
+	//lint:ephemeral fault-process position; fault time never rewinds
+	skip int64 // fault-free accesses before the next fault
+	//lint:ephemeral derived from the operating point by SetCycleTime
 	goodRate float64
-	badRate  float64
+	//lint:ephemeral derived from the operating point by SetCycleTime
+	badRate float64
 
 	// OnTransition, if set, is invoked on every state change with the new
 	// state (true = entering the bad state). Wired to trace events.
+	//lint:ephemeral observer wiring, not process state
 	OnTransition func(bad bool)
 
 	// Counters for the run reports and the dynamic frequency controller.
 	Accesses uint64 // accesses observed while enabled
 	Events   uint64 // fault events injected
 	BitFlips uint64 // total bits flipped
+	// Episodes is deliberately cumulative: it survives ResetCounters so
+	// the run report can total bad-state episodes across epochs.
+	//lint:ephemeral cumulative across epochs by design; see ResetCounters
 	Episodes uint64 // bad-state episodes entered
 }
 
@@ -268,17 +285,28 @@ type stuckCell struct {
 // data cache is exactly the frame the address occupies — so a weak cell
 // strikes the same line on every visit, the access pattern line disable
 // exists to contain.
+//
+//lint:checkpoint ResetCounters
 type StuckAt struct {
-	inner   Process
-	rng     *RNG // intermittent-band draws; cells are seeded at construction
-	words   int  // power-of-two word count of the backing array
-	cells   []stuckCell
-	band    float64
-	prob    float64
-	cr      float64
+	inner Process
+	//lint:ephemeral intermittent-band position; fault time never rewinds
+	rng *RNG // intermittent-band draws; cells are seeded at construction
+	//lint:ephemeral configuration, immutable during a run
+	words int // power-of-two word count of the backing array
+	//lint:ephemeral weak-cell map, seeded at construction and never mutated
+	cells []stuckCell
+	//lint:ephemeral configuration, immutable during a run
+	band float64
+	//lint:ephemeral configuration, immutable during a run
+	prob float64
+	//lint:ephemeral operating point, changed only by SetCycleTime
+	cr float64
+	//lint:ephemeral segment gating toggled by the experiment harness
 	enabled bool
 
-	PermanentHits    uint64 // accesses faulted by a cell below threshold
+	//lint:ephemeral cumulative across epochs by design; see ResetCounters
+	PermanentHits uint64 // accesses faulted by a cell below threshold
+	//lint:ephemeral cumulative across epochs by design; see ResetCounters
 	IntermittentHits uint64 // accesses faulted inside the band
 }
 

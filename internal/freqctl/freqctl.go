@@ -26,6 +26,8 @@ const (
 func DefaultLevels() []float64 { return []float64{1, 0.75, 0.5, 0.25} }
 
 // Decision reports the outcome of an epoch boundary.
+//
+//lint:exhaustive
 type Decision int
 
 const (
@@ -36,6 +38,8 @@ const (
 
 func (d Decision) String() string {
 	switch d {
+	case Keep:
+		return "keep"
 	case SpeedUp:
 		return "speed up"
 	case SlowDown:

@@ -1,0 +1,425 @@
+// Package allocfree turns the runtime zero-allocation pin
+// (TestSteadyStatePacketLoopZeroAlloc) into a static gate: a function
+// annotated `//lint:hot-path` — and every same-package function it
+// transitively calls — may not contain heap-allocating constructs:
+//
+//   - make/new and slice or map composite literals;
+//   - &T{...} composite-literal escapes;
+//   - append growth;
+//   - closures (func literals), except the classic `defer func(){...}()`
+//     containment pattern, which the compiler stack-allocates;
+//   - string concatenation and string<->[]byte conversions;
+//   - fmt calls, errors.New, and sort.Slice (always allocate);
+//   - interface boxing: passing or converting a non-pointer-shaped
+//     concrete value to an interface type;
+//   - calls to functions that (transitively) do any of the above.
+//
+// Cross-package calls are checked through object facts: each pass exports
+// a per-function allocation summary, and a hot path that calls an
+// allocating function from a dependency is reported at the call site.
+// Calls that cannot be resolved statically (interface methods, func
+// values) are assumed clean — the runtime AllocsPerRun pin remains the
+// backstop for dynamic dispatch.
+//
+// Escape: `//lint:alloc-ok <reason>` on the offending line, for audited
+// cold allocations (one-time warm-up growth, error paths that only run
+// when the run is already failing).
+package allocfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"clumsy/internal/lint/analysis"
+)
+
+// AllocFact is the object fact summarizing one function: whether calling
+// it can allocate (directly or transitively) and a human-readable chain
+// explaining where.
+type AllocFact struct {
+	Allocates bool
+	Why       string
+}
+
+// AFact marks AllocFact as a fact type.
+func (*AllocFact) AFact() {}
+
+// Analyzer is the allocfree check.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "forbid heap allocations in //lint:hot-path functions and everything " +
+		"they call (escape: //lint:alloc-ok <reason>)",
+	Run:        run,
+	FactTypes:  []analysis.Fact{(*AllocFact)(nil)},
+	Directives: []string{"hot-path", "alloc-ok"},
+}
+
+// site is one allocating construct in a function body.
+type site struct {
+	pos  token.Pos
+	what string
+}
+
+// fnInfo is the per-function scan result.
+type fnInfo struct {
+	decl  *ast.FuncDecl
+	sites []site // unescaped allocating constructs
+	calls []resolvedCall
+	// effective allocation state after local+fact propagation:
+	state  allocState
+	why    string
+	whyPos token.Pos
+}
+
+type resolvedCall struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+type allocState int
+
+const (
+	stateUnknown allocState = iota
+	stateComputing
+	stateClean
+	stateAllocates
+)
+
+func run(pass *analysis.Pass) error {
+	infos := make(map[*types.Func]*fnInfo)
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &fnInfo{decl: fd}
+			scanBody(pass, fd, info)
+			infos[fn] = info
+			order = append(order, fn)
+		}
+	}
+
+	// Resolve each function's effective state (direct sites or an
+	// allocating callee, local or via imported facts) and export it, so
+	// dependent packages see through this package's call chains.
+	for _, fn := range order {
+		resolve(pass, fn, infos)
+	}
+	for _, fn := range order {
+		info := infos[fn]
+		pass.ExportObjectFact(fn, &AllocFact{Allocates: info.state == stateAllocates, Why: info.why})
+	}
+
+	// Walk each hot path's same-package closure, reporting every
+	// allocating construct inside it and every call that leaves the
+	// package into an allocating function.
+	for _, fn := range order {
+		info := infos[fn]
+		if !pass.FuncDirective(info.decl, "hot-path") {
+			continue
+		}
+		reportClosure(pass, fn, infos)
+	}
+	return nil
+}
+
+// scanBody records a function's direct allocating constructs and its
+// statically-resolvable calls. `//lint:alloc-ok <reason>` suppresses a
+// construct at scan time — before propagation — so an audited cold
+// allocation never taints summaries; the directive therefore always
+// counts as consumed.
+func scanBody(pass *analysis.Pass, fd *ast.FuncDecl, info *fnInfo) {
+	add := func(pos token.Pos, what string) {
+		if reason, ok := pass.DirectiveArgs(pos, "alloc-ok"); ok {
+			if reason == "" {
+				pass.Reportf(pos, "//lint:alloc-ok needs a reason")
+			}
+			return
+		}
+		info.sites = append(info.sites, site{pos, what})
+	}
+	deferred := make(map[*ast.FuncLit]bool)
+	skipLit := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					skipLit[lit] = true
+					add(n.Pos(), "composite literal escapes via &"+typeString(pass, lit))
+				}
+			}
+		case *ast.CompositeLit:
+			if skipLit[n] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				add(n.Pos(), "map literal allocates")
+			}
+		case *ast.FuncLit:
+			if !deferred[n] {
+				add(n.Pos(), "closure allocates its captured environment")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				add(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				add(n.Pos(), "string += allocates")
+			}
+		case *ast.CallExpr:
+			scanCall(pass, n, info, add)
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call: builtin allocators, conversions, denylisted
+// stdlib, boxing at the call boundary, or a resolvable callee to chase.
+func scanCall(pass *analysis.Pass, call *ast.CallExpr, info *fnInfo, add func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: string<->[]byte/[]rune allocate a copy.
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		if isStringByteConv(pass, tv.Type, call) {
+			add(call.Pos(), "string conversion allocates a copy")
+		}
+		return
+	}
+
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return // func value: unresolvable, assumed clean
+	}
+	switch obj := pass.TypesInfo.Uses[id].(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			add(call.Pos(), "make allocates")
+		case "new":
+			add(call.Pos(), "new allocates")
+		case "append":
+			add(call.Pos(), "append may grow its backing array")
+		}
+		return
+	case *types.Func:
+		if pkg := obj.Pkg(); pkg != nil {
+			switch {
+			case pkg.Path() == "fmt":
+				add(call.Pos(), "fmt."+obj.Name()+" allocates (formatting boxes its operands)")
+				return
+			case pkg.Path() == "errors" && obj.Name() == "New":
+				add(call.Pos(), "errors.New allocates")
+				return
+			case pkg.Path() == "sort" && (obj.Name() == "Slice" || obj.Name() == "SliceStable"):
+				add(call.Pos(), "sort."+obj.Name()+" allocates (closure and reflection)")
+				return
+			}
+		}
+		sig, _ := obj.Type().(*types.Signature)
+		boxingCheck(pass, call, sig, add)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			return // dynamic dispatch: assumed clean, runtime pin is the backstop
+		}
+		info.calls = append(info.calls, resolvedCall{call.Pos(), obj})
+	}
+}
+
+// boxingCheck flags arguments whose assignment to an interface-typed
+// parameter boxes a non-pointer-shaped concrete value.
+func boxingCheck(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature, add func(token.Pos, string)) {
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
+			continue
+		}
+		if pointerShaped(tv.Type) {
+			continue
+		}
+		add(arg.Pos(), fmt.Sprintf("passing %s boxes it into an interface", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg))))
+	}
+}
+
+// pointerShaped reports whether values of t fit an interface word without
+// allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// resolve computes a function's effective allocation state: direct sites,
+// or a call (local or via facts) to an allocating function. Cycles are
+// optimistically clean.
+func resolve(pass *analysis.Pass, fn *types.Func, infos map[*types.Func]*fnInfo) allocState {
+	info := infos[fn]
+	if info == nil {
+		return stateClean
+	}
+	switch info.state {
+	case stateClean, stateAllocates:
+		return info.state
+	case stateComputing:
+		return stateClean
+	}
+	info.state = stateComputing
+	if len(info.sites) > 0 {
+		s := info.sites[0]
+		info.state = stateAllocates
+		info.why = fmt.Sprintf("%s at %s", s.what, pass.Fset.Position(s.pos))
+		info.whyPos = s.pos
+		return info.state
+	}
+	for _, c := range info.calls {
+		if callee, ok := infos[c.callee]; ok {
+			if resolve(pass, c.callee, infos) == stateAllocates {
+				info.state = stateAllocates
+				info.why = fmt.Sprintf("calls %s: %s", c.callee.Name(), callee.why)
+				info.whyPos = c.pos
+				return info.state
+			}
+			continue
+		}
+		var fact AllocFact
+		if pass.ImportObjectFact(c.callee, &fact) && fact.Allocates {
+			info.state = stateAllocates
+			info.why = fmt.Sprintf("calls %s: %s", c.callee.FullName(), fact.Why)
+			info.whyPos = c.pos
+			return info.state
+		}
+	}
+	info.state = stateClean
+	return info.state
+}
+
+// reportClosure reports every allocation reachable from one hot-path
+// function through same-package calls: direct constructs at their own
+// position, out-of-package allocating callees at the call site.
+func reportClosure(pass *analysis.Pass, root *types.Func, infos map[*types.Func]*fnInfo) {
+	visited := make(map[*types.Func]bool)
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		info := infos[fn]
+		if info == nil {
+			continue
+		}
+		for _, s := range info.sites {
+			pass.Reportf(s.pos, "allocation on the hot path: %s — reuse a preallocated buffer or annotate //lint:alloc-ok <reason>", s.what)
+		}
+		for _, c := range info.calls {
+			if _, local := infos[c.callee]; local {
+				queue = append(queue, c.callee)
+				continue
+			}
+			var fact AllocFact
+			if pass.ImportObjectFact(c.callee, &fact) && fact.Allocates {
+				// The escape is queried only now, with the diagnostic
+				// imminent, so an alloc-ok on a clean call goes stale.
+				if reason, ok := pass.DirectiveArgs(c.pos, "alloc-ok"); ok {
+					if reason == "" {
+						pass.Reportf(c.pos, "//lint:alloc-ok needs a reason")
+					}
+					continue
+				}
+				pass.Reportf(c.pos, "hot-path call to %s, which allocates: %s", c.callee.FullName(), fact.Why)
+			}
+		}
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports whether the conversion T(x) crosses the
+// string/byte-slice boundary.
+func isStringByteConv(pass *analysis.Pass, to types.Type, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	from := tv.Type
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func typeString(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return "T{}"
+	}
+	return types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)) + "{}"
+}

@@ -1,0 +1,77 @@
+package allocfree_test
+
+import (
+	"strings"
+	"testing"
+
+	"clumsy/internal/lint/allocfree"
+	"clumsy/internal/lint/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer,
+		"clumsy/internal/simmem",
+		"clumsy/internal/clumsy",
+	)
+}
+
+// loopMirror mirrors the real steady-state packet loop: the per-packet
+// staging buffer is truncated and reused, never reallocated.
+const loopMirror = `package clumsy
+
+type engine struct {
+	staging []uint64
+	head    int
+}
+
+// beginPacket resets per-packet state.
+//
+//lint:hot-path
+func (e *engine) beginPacket() {
+	e.staging = e.staging[:0]
+	e.head = 0
+}
+
+// dmaPacket stages one packet word.
+//
+//lint:hot-path
+func (e *engine) dmaPacket(w uint64) {
+	if e.head < cap(e.staging) {
+		e.staging = e.staging[:e.head+1]
+		e.staging[e.head] = w
+		e.head++
+	}
+}
+`
+
+// TestMutationReallocatedStagingBuffer swaps the reused staging buffer
+// for a fresh make — the zero-alloc regression the runtime pin catches
+// at test time and allocfree must catch at lint time.
+func TestMutationReallocatedStagingBuffer(t *testing.T) {
+	files := map[string]string{"internal/clumsy/loop.go": loopMirror}
+	if got := analysistest.CheckSource(t, allocfree.Analyzer, files); len(got) != 0 {
+		t.Fatalf("pristine mirror must be clean, got %v", got)
+	}
+
+	mutated := strings.Replace(loopMirror, "e.staging = e.staging[:0]", "e.staging = make([]uint64, 0, cap(e.staging))", 1)
+	if mutated == loopMirror {
+		t.Fatal("mutation did not apply")
+	}
+	files["internal/clumsy/loop.go"] = mutated
+	got := analysistest.CheckSource(t, allocfree.Analyzer, files)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "allocation on the hot path: make allocates") {
+		t.Fatalf("reallocated staging buffer must be caught, got %v", got)
+	}
+}
+
+// TestAnnotationRemovalSilences checks the inverse direction: without
+// the //lint:hot-path annotation the same allocation is not a finding —
+// the analyzer gates on the annotation, not on heuristics.
+func TestAnnotationRemovalSilences(t *testing.T) {
+	mutated := strings.Replace(loopMirror, "e.staging = e.staging[:0]", "e.staging = make([]uint64, 0, cap(e.staging))", 1)
+	cold := strings.ReplaceAll(mutated, "//lint:hot-path\n", "")
+	files := map[string]string{"internal/clumsy/loop.go": cold}
+	if got := analysistest.CheckSource(t, allocfree.Analyzer, files); len(got) != 0 {
+		t.Fatalf("unannotated function must not be checked, got %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+// Fixture: the steady-state packet loop. Everything reachable from a
+// //lint:hot-path function must be allocation-free — the zero-alloc pin
+// (TestSteadyStatePacketLoopZeroAlloc) is the runtime twin of this check.
+package clumsy
+
+import "clumsy/internal/lint/allocfree/testdata/src/clumsy/internal/simmem"
+
+type engine struct {
+	buf     []uint64
+	scratch [64]byte
+	name    string
+}
+
+type store interface {
+	Put(v any)
+}
+
+// processPacket is the per-packet fast path.
+//
+//lint:hot-path
+func (e *engine) processPacket(w uint64, s store) {
+	e.buf = append(e.buf, w) // want `append may grow its backing array`
+	tmp := make([]uint64, 8) // want `make allocates`
+	_ = tmp
+	s.Put(int(w))             // want `passing int boxes it into an interface`
+	e.name = e.name + "x"     // want `string concatenation allocates`
+	_ = simmem.Grow(e.buf, 4) // want `hot-path call to .*simmem\.Grow, which allocates: append may grow`
+	_ = simmem.Peek(e.buf, 0) // clean dependency call: silent
+	//lint:alloc-ok Grow allocates only on its resize path, never for in-range packets
+	_ = simmem.Grow(e.buf, 2)
+	e.stage(w)                  // same-package callee: its sites report at their own lines
+	key := string(e.scratch[:]) //lint:alloc-ok fault diagnostics, reached only after the run has failed
+	_ = key
+	defer func() { e.buf = e.buf[:0] }() // deferred closures stay on the stack
+}
+
+// stage is clean except for one escape the hot closure must surface.
+func (e *engine) stage(w uint64) {
+	e.scratch[w%64]++
+	e.buf = append(e.buf, w) // want `append may grow its backing array`
+}
+
+// report is a cold diagnostics helper: it may allocate freely because no
+// hot-path function reaches it.
+func (e *engine) report() []uint64 {
+	out := make([]uint64, len(e.buf))
+	copy(out, e.buf)
+	return out
+}

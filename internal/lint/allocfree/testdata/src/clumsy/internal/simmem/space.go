@@ -1,0 +1,16 @@
+// Fixture dependency: an allocating helper one package below the hot
+// loop, so the hot-path report must travel through an AllocFact.
+package simmem
+
+// Grow extends the backing space.
+func Grow(buf []uint64, n int) []uint64 {
+	return append(buf, make([]uint64, n)...)
+}
+
+// Peek is allocation-free: calling it from a hot path is fine.
+func Peek(buf []uint64, i int) uint64 {
+	if i < len(buf) {
+		return buf[i]
+	}
+	return 0
+}

@@ -6,12 +6,20 @@
 // available; it exists because the build environment is offline and the
 // module must not grow external dependencies.
 //
-// Beyond the x/tools surface, the package carries the project's directive
-// machinery: `//lint:<name>` comments that mark deliberate exceptions to an
-// invariant (for example `//lint:wallclock-ok` on the two legitimate
-// wall-clock sites). Directives apply to the line they sit on and to the
-// line immediately below, so both trailing and preceding comment placement
-// work.
+// Beyond the x/tools surface, the package carries two project mechanisms:
+//
+//   - Directives: `//lint:<name>` comments that mark deliberate exceptions
+//     to an invariant (for example `//lint:wallclock-ok` on the two
+//     legitimate wall-clock sites) or feed annotations to an analyzer
+//     (`//lint:checkpoint`, `//lint:hot-path`). Directives apply to the
+//     line they sit on and to the line immediately below, so both trailing
+//     and preceding comment placement work. Consumption is tracked so the
+//     staledirect analyzer can report exemptions that rot.
+//
+//   - Facts (facts.go): gob-serialized data one pass exports about its
+//     package for passes over dependent packages to import, mirroring
+//     x/tools facts. The driver visits packages in dependency order and
+//     threads one FactStore through every pass.
 package analysis
 
 import (
@@ -26,10 +34,17 @@ import (
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and CLI output.
 	Name string
-	// Doc is the one-paragraph description shown by `clumsylint -help`.
+	// Doc is the one-paragraph description shown by `clumsylint -list`.
 	Doc string
 	// Run applies the check to one package.
 	Run func(*Pass) error
+	// FactTypes lists prototypes of the fact types the analyzer exports
+	// or imports (informational; fact round-trips are checked at export).
+	FactTypes []Fact
+	// Directives lists the `//lint:` directive names the analyzer owns,
+	// both escapes and annotations. The staledirect analyzer treats any
+	// directive name outside the union of these lists as unknown.
+	Directives []string
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -50,82 +65,18 @@ type Pass struct {
 	// Report receives each finding.
 	Report func(Diagnostic)
 
-	directives map[*ast.File]map[int][]string
+	// Facts is the driver-shared fact store (nil outside a driver; the
+	// pass then builds a private one, so same-package facts still work).
+	Facts *FactStore
+
+	// Directives is the package's directive tracker, shared across the
+	// suite's passes by the driver so consumption accumulates.
+	Directives *Directives
 }
 
 // Reportf reports a formatted finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
-}
-
-// directivePrefix introduces an in-source exception marker.
-const directivePrefix = "//lint:"
-
-// fileDirectives indexes a file's `//lint:` comments by line.
-func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
-	idx := make(map[int][]string)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := c.Text
-			if !strings.HasPrefix(text, directivePrefix) {
-				continue
-			}
-			name := strings.TrimPrefix(text, directivePrefix)
-			if i := strings.IndexAny(name, " \t"); i >= 0 {
-				name = name[:i]
-			}
-			line := fset.Position(c.Pos()).Line
-			idx[line] = append(idx[line], name)
-		}
-	}
-	return idx
-}
-
-// DirectiveAt reports whether a `//lint:name` directive covers pos: the
-// directive sits on the same line (trailing comment) or on the line above
-// (preceding comment).
-func (p *Pass) DirectiveAt(pos token.Pos, name string) bool {
-	if p.directives == nil {
-		p.directives = make(map[*ast.File]map[int][]string)
-	}
-	var file *ast.File
-	for _, f := range p.Files {
-		if f.FileStart <= pos && pos <= f.FileEnd {
-			file = f
-			break
-		}
-	}
-	if file == nil {
-		return false
-	}
-	idx, ok := p.directives[file]
-	if !ok {
-		idx = fileDirectives(p.Fset, file)
-		p.directives[file] = idx
-	}
-	line := p.Fset.Position(pos).Line
-	for _, l := range []int{line, line - 1} {
-		for _, d := range idx[l] {
-			if d == name {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// FuncDirective reports whether the function declaration carries the
-// directive in its doc comment.
-func FuncDirective(fn *ast.FuncDecl, name string) bool {
-	if fn == nil || fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		if strings.TrimSpace(c.Text) == directivePrefix+name {
-			return true
-		}
-	}
-	return false
 }
 
 // EffectivePath maps a package import path onto the path the invariants
@@ -153,4 +104,12 @@ func PathWithin(pkgPath string, dirs ...string) bool {
 		}
 	}
 	return false
+}
+
+// ObjectOf resolves the types.Object an identifier uses or defines.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Defs[id]
 }

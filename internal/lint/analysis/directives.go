@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an in-source exception marker.
+const directivePrefix = "//lint:"
+
+// Directive is one `//lint:<name> <args>` comment in a package's files.
+// Args is the text after the name (an exemption reason, a function list),
+// with surrounding whitespace trimmed. Trailing records whether code
+// precedes the comment on its line: a trailing directive binds only to
+// its own line, a standalone one to the line below — so an exemption on
+// one struct field never leaks onto the next. Used records whether any
+// analyzer consumed the directive — either as a suppression that matched
+// a would-be diagnostic or as an annotation it acted on — which is what
+// the staledirect check keys off.
+type Directive struct {
+	Name     string
+	Args     string
+	Pos      token.Pos
+	Trailing bool
+	Used     bool
+}
+
+// Directives indexes one package's `//lint:` comments by file and line
+// and tracks consumption. The driver builds one per package and shares it
+// across every analyzer pass so that, after the suite has run, the
+// directives no analyzer consumed can be reported as stale.
+type Directives struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]*Directive // filename -> line -> directives
+	all    []*Directive
+}
+
+// NewDirectives scans the files' comments for `//lint:` markers.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[string]map[int][]*Directive)}
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				name, args := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, args = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				pos := fset.Position(c.Pos())
+				dir := &Directive{Name: name, Args: args, Pos: c.Pos(), Trailing: code[pos.Line]}
+				lines, ok := d.byLine[pos.Filename]
+				if !ok {
+					lines = make(map[int][]*Directive)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], dir)
+				d.all = append(d.all, dir)
+			}
+		}
+	}
+	return d
+}
+
+// lookup finds the directives named name covering pos: on the same line
+// (trailing comment), or standalone on the line above. A trailing
+// directive on the line above belongs to that line's code, not to pos.
+func (d *Directives) lookup(pos token.Pos, name string) []*Directive {
+	p := d.fset.Position(pos)
+	lines := d.byLine[p.Filename]
+	if lines == nil {
+		return nil
+	}
+	var found []*Directive
+	for _, dir := range lines[p.Line] {
+		if dir.Name == name {
+			found = append(found, dir)
+		}
+	}
+	for _, dir := range lines[p.Line-1] {
+		if dir.Name == name && !dir.Trailing {
+			found = append(found, dir)
+		}
+	}
+	return found
+}
+
+// codeLines marks the lines of f holding non-comment tokens, so the
+// scanner can tell a trailing directive from a standalone one. Leaf
+// positions (idents, literals, closing braces via End) cover every line
+// that carries code.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()-1).Line] = true
+		return true
+	})
+	return lines
+}
+
+// All returns every directive in the package, in file order.
+func (d *Directives) All() []*Directive {
+	return d.all
+}
+
+// DirectiveAt reports whether a `//lint:name` directive covers pos — the
+// directive sits on the same line (trailing comment) or on the line above
+// (preceding comment) — and marks it consumed.
+func (p *Pass) DirectiveAt(pos token.Pos, name string) bool {
+	_, ok := p.DirectiveArgs(pos, name)
+	return ok
+}
+
+// DirectiveArgs is DirectiveAt plus the directive's trailing text, for
+// annotations that carry arguments (a reason, a function list).
+func (p *Pass) DirectiveArgs(pos token.Pos, name string) (string, bool) {
+	found := p.directives().lookup(pos, name)
+	for _, dir := range found {
+		dir.Used = true
+	}
+	if len(found) == 0 {
+		return "", false
+	}
+	return found[0].Args, true
+}
+
+// DocDirective reports whether a declaration's doc comment carries the
+// directive, returning its trailing text, and marks it consumed.
+func (p *Pass) DocDirective(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, directivePrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, directivePrefix)
+		dn, args := rest, ""
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			dn, args = rest[:i], strings.TrimSpace(rest[i+1:])
+		}
+		if dn != name {
+			continue
+		}
+		for _, dir := range p.directives().lookup(c.Pos(), name) {
+			dir.Used = true
+		}
+		return args, true
+	}
+	return "", false
+}
+
+// FuncDirective reports whether the function declaration carries the
+// directive in its doc comment, and marks it consumed.
+func (p *Pass) FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn == nil {
+		return false
+	}
+	_, ok := p.DocDirective(fn.Doc, name)
+	return ok
+}
+
+// directives returns the pass's shared tracker, building a pass-local one
+// when the pass was constructed without a driver (unit tests).
+func (p *Pass) directives() *Directives {
+	if p.Directives == nil {
+		p.Directives = NewDirectives(p.Fset, p.Files)
+	}
+	return p.Directives
+}

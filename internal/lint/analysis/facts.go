@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// A Fact is a typed datum one analyzer pass exports about a package or
+// one of its objects for passes over dependent packages to import — the
+// project's miniature of golang.org/x/tools/go/analysis facts. Fact types
+// must be gob-serializable pointers: the store round-trips every fact
+// through gob exactly as a separate-process driver would serialize it
+// alongside the `go list -export` data, so a fact that survives in-process
+// is guaranteed to survive a future cached driver too.
+type Fact interface {
+	AFact()
+}
+
+// factKey addresses one serialized fact. Facts are namespaced per
+// analyzer (two analyzers' facts never collide), per package, per object
+// (empty for package facts), and per concrete fact type.
+type factKey struct {
+	analyzer string
+	pkg      string
+	object   string
+	typ      string
+}
+
+// FactStore holds the gob-encoded facts of one driver run. The driver
+// creates a single store and threads it through every pass, visiting
+// packages in dependency order so a pass only ever imports facts that
+// were already exported.
+type FactStore struct {
+	m map[factKey][]byte
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey][]byte)}
+}
+
+func (s *FactStore) put(key factKey, f Fact) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("lint: encoding fact %T for %s.%s: %v", f, key.pkg, key.object, err)
+	}
+	s.m[key] = buf.Bytes()
+	return nil
+}
+
+func (s *FactStore) get(key factKey, f Fact) bool {
+	enc, ok := s.m[key]
+	if !ok {
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(f); err != nil {
+		panic(fmt.Sprintf("lint: decoding fact %T for %s.%s: %v", f, key.pkg, key.object, err))
+	}
+	return true
+}
+
+// objectKey names an object stably within its package: "Name" for
+// package-level objects, "Recv.Name" for methods.
+func objectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+func factType(f Fact) string {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("lint: fact %T must be a pointer", f))
+	}
+	return t.Elem().Name()
+}
+
+// facts returns the pass's shared store, building a pass-local one when
+// the pass was constructed without a driver (unit tests).
+func (p *Pass) facts() *FactStore {
+	if p.Facts == nil {
+		p.Facts = NewFactStore()
+	}
+	return p.Facts
+}
+
+// ExportObjectFact records a fact about an object of the current package.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || obj.Pkg() == nil {
+		panic("lint: ExportObjectFact on nil or universe object")
+	}
+	if obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("lint: ExportObjectFact: %s is not from the current package %s", obj.Name(), p.Pkg.Path()))
+	}
+	key := factKey{p.Analyzer.Name, obj.Pkg().Path(), objectKey(obj), factType(f)}
+	if err := p.facts().put(key, f); err != nil {
+		panic(err.Error())
+	}
+}
+
+// ImportObjectFact copies the fact recorded about obj (by this analyzer,
+// over obj's package) into f, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key := factKey{p.Analyzer.Name, obj.Pkg().Path(), objectKey(obj), factType(f)}
+	return p.facts().get(key, f)
+}
+
+// ExportPackageFact records a fact about the current package.
+func (p *Pass) ExportPackageFact(f Fact) {
+	key := factKey{p.Analyzer.Name, p.Pkg.Path(), "", factType(f)}
+	if err := p.facts().put(key, f); err != nil {
+		panic(err.Error())
+	}
+}
+
+// ImportPackageFact copies the fact recorded about pkg into f, reporting
+// whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	key := factKey{p.Analyzer.Name, pkg.Path(), "", factType(f)}
+	return p.facts().get(key, f)
+}

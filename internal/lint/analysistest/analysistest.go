@@ -19,6 +19,7 @@ package analysistest
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 	"testing"
 
 	"clumsy/internal/lint/analysis"
+	"clumsy/internal/lint/driver"
 	"clumsy/internal/lint/load"
 )
 
@@ -52,12 +54,16 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	if len(pkgs) != len(fixtures) {
 		t.Fatalf("loaded %d packages for %d fixtures", len(pkgs), len(fixtures))
 	}
+	// One fact store spans the whole fixture set, and load returns the
+	// packages in dependency order, so a fixture package can import facts
+	// exported over a fixture it imports — exactly like the real driver.
+	facts := analysis.NewFactStore()
 	for _, pkg := range pkgs {
-		runPackage(t, a, pkg)
+		runPackage(t, a, pkg, facts)
 	}
 }
 
-func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package, facts *analysis.FactStore) {
 	t.Helper()
 	expects, err := parseWants(pkg)
 	if err != nil {
@@ -66,12 +72,14 @@ func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
 
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.TypesInfo,
+		Facts:      facts,
+		Directives: analysis.NewDirectives(pkg.Fset, pkg.Files),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer %s: %v", pkg.PkgPath, a.Name, err)
@@ -88,6 +96,40 @@ func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
 		}
 	}
+}
+
+// CheckSource materializes an ad-hoc module from files (path below the
+// module root -> contents), runs the analyzer over it with the real
+// driver, and returns the deduplicated findings. Mutation tests use it to
+// assert that a mirror of a real invariant site is clean as written and
+// reported once the invariant is deleted.
+func CheckSource(t *testing.T, a *analysis.Analyzer, files map[string]string) []driver.Finding {
+	t.Helper()
+	return CheckSourceSuite(t, []*analysis.Analyzer{a}, files)
+}
+
+// CheckSourceSuite is CheckSource for a multi-analyzer suite, preserving
+// suite order (the stale-directive sweep must run last).
+func CheckSourceSuite(t *testing.T, analyzers []*analysis.Analyzer, files map[string]string) []driver.Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := driver.Run(dir, analyzers, "./...")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	return findings
 }
 
 // claim marks the first unmatched expectation that covers the diagnostic.

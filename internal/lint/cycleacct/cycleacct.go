@@ -48,7 +48,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "cycleacct",
 	Doc: "forbid direct writes to cycle/energy counter fields outside functions " +
 		"marked //lint:cycle-accounting (keeps the cost model auditable)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"cycle-accounting"},
 }
 
 func run(pass *analysis.Pass) error {
@@ -61,7 +62,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if analysis.FuncDirective(fn, "cycle-accounting") {
+			if pass.FuncDirective(fn, "cycle-accounting") {
 				continue
 			}
 			checkBody(pass, fn)

@@ -47,7 +47,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "detwalk",
 	Doc: "flag nondeterminism in the sim core: map iteration, goroutine spawns, " +
 		"wall-clock reads, and math/rand (escape hatches: //lint:wallclock-ok, //lint:det-ok)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"wallclock-ok", "det-ok"},
 }
 
 // wallClockFuncs are the package time functions that read the wall clock.

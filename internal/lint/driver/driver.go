@@ -1,0 +1,110 @@
+// Package driver runs a clumsylint analyzer suite over a package set the
+// way both cmd/clumsylint and the test harnesses need it run: packages in
+// dependency order with one shared fact store (so a pass over
+// internal/experiment can import facts exported by the pass over
+// internal/clumsy), one directive tracker per package shared across the
+// suite (so stale-directive detection sees the whole suite's consumption),
+// and findings deduplicated and sorted deterministically by position.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"clumsy/internal/lint/analysis"
+	"clumsy/internal/lint/load"
+)
+
+// Finding is one resolved diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical `pos: message (analyzer)`
+// line format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run loads the packages matching patterns (relative to dir) and applies
+// the analyzers to each, in package dependency order and analyzer list
+// order. Identical findings reported through multiple driver paths are
+// deduplicated and the result is sorted by file, line, column, analyzer,
+// and message, so output is stable across runs.
+func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	err = RunPackages(pkgs, analyzers, func(pkg *load.Package, d analysis.Diagnostic) {
+		findings = append(findings, Finding{
+			Pos:      pkg.Fset.Position(d.Pos),
+			Analyzer: d.Analyzer.Name,
+			Message:  d.Message,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Dedupe(findings), nil
+}
+
+// RunPackages applies the analyzers to already-loaded packages, assumed
+// to be in dependency order (load.Load returns them that way), invoking
+// report for every raw diagnostic. One fact store spans the whole run;
+// one directive tracker spans each package's passes.
+func RunPackages(pkgs []*load.Package, analyzers []*analysis.Analyzer, report func(*load.Package, analysis.Diagnostic)) error {
+	facts := analysis.NewFactStore()
+	for _, pkg := range pkgs {
+		directives := analysis.NewDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				Facts:      facts,
+				Directives: directives,
+				Report:     func(d analysis.Diagnostic) { report(pkg, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Dedupe removes duplicate findings and sorts the rest by position,
+// analyzer, and message.
+func Dedupe(findings []Finding) []Finding {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package driver_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"clumsy/internal/lint/analysis"
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/driver"
+	"clumsy/internal/lint/exhaustive"
+	"clumsy/internal/lint/staledirect"
+)
+
+const clusterSrc = `package cluster
+
+//lint:exhaustive
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+)
+`
+
+const fleetSrc = `package fleet
+
+import "fixture/internal/cluster"
+
+func pick(m cluster.Mode) int {
+	switch m {
+	case cluster.ModeA:
+		return 0
+	}
+	return 1
+}
+`
+
+// TestFactsCrossPackages runs the driver over a two-package module: the
+// enum is declared (and annotated) in one package, the incomplete switch
+// lives in a dependent one, so the finding can only come from the
+// EnumsFact travelling through the shared fact store.
+func TestFactsCrossPackages(t *testing.T) {
+	suite := []*analysis.Analyzer{exhaustive.Analyzer}
+	analyzers := append(suite, staledirect.New(suite))
+	files := map[string]string{
+		"internal/cluster/mode.go": clusterSrc,
+		"internal/fleet/fleet.go":  fleetSrc,
+	}
+	got := analysistest.CheckSourceSuite(t, analyzers, files)
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 finding, got %v", got)
+	}
+	f := got[0]
+	if f.Analyzer != "exhaustive" || !strings.Contains(f.Message, "switch over cluster.Mode does not handle ModeB") {
+		t.Fatalf("want cross-package exhaustive finding, got %v", f)
+	}
+	if !strings.HasSuffix(f.Pos.Filename, "internal/fleet/fleet.go") {
+		t.Fatalf("finding must land in the dependent package, got %v", f.Pos)
+	}
+
+	// Same inputs, fresh module: the rendered findings must be identical
+	// modulo the temp dir.
+	again := analysistest.CheckSourceSuite(t, analyzers, files)
+	if len(again) != 1 || again[0].Analyzer != f.Analyzer || again[0].Message != f.Message || again[0].Pos.Line != f.Pos.Line {
+		t.Fatalf("driver output is not deterministic: %v vs %v", got, again)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	mk := func(file string, line int, an, msg string) driver.Finding {
+		return driver.Finding{Pos: token.Position{Filename: file, Line: line, Column: 1}, Analyzer: an, Message: msg}
+	}
+	in := []driver.Finding{
+		mk("b.go", 3, "floatcmp", "x"),
+		mk("a.go", 9, "detwalk", "y"),
+		mk("b.go", 3, "floatcmp", "x"), // exact duplicate
+		mk("a.go", 9, "cycleacct", "y"),
+	}
+	out := driver.Dedupe(in)
+	if len(out) != 3 {
+		t.Fatalf("want 3 findings after dedupe, got %v", out)
+	}
+	want := []string{
+		"a.go:9:1: y (cycleacct)",
+		"a.go:9:1: y (detwalk)",
+		"b.go:3:1: x (floatcmp)",
+	}
+	for i, w := range want {
+		if out[i].String() != w {
+			t.Errorf("finding %d: want %q, got %q", i, w, out[i].String())
+		}
+	}
+}

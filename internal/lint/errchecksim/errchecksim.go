@@ -25,7 +25,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "errchecksim",
 	Doc: "flag statements that drop an error return in internal/ and cmd/ " +
 		"(escape: //lint:errcheck-ok)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"errcheck-ok"},
 }
 
 // exemptFuncs are package-level functions whose error never needs checking

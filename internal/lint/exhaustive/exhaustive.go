@@ -1,0 +1,224 @@
+// Package exhaustive enforces total handling of the project's enums: a
+// `switch` over a type annotated `//lint:exhaustive` (recovery policy,
+// fault regime, cluster health state, ladder escalation step, telemetry
+// event kind, ...) must either handle every declared constant of the type
+// or carry an explicit escape. PR 7's five-state fleet FSM made the
+// missed-arm bug class live: adding a sixth state must break the build of
+// every switch that silently ignores it, not surface as a wrong verdict
+// ten minutes into a campaign.
+//
+// The enum's declared constants are collected in the defining package and
+// exported as a package fact, so switches in dependent packages are
+// checked against the authoritative constant set even though the
+// annotation comment is invisible in export data.
+//
+// Escapes: `//lint:exhaustive-ok <reason>` on the switch statement (for
+// switches guarded by earlier control flow) or on its default clause (for
+// deliberate catch-alls, e.g. String methods mapping invalid values).
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"clumsy/internal/lint/analysis"
+)
+
+// EnumsFact is the package fact listing the annotated enum types of one
+// package and their declared constant names, in declaration order.
+type EnumsFact struct {
+	Enums map[string][]string // type name -> constant names
+}
+
+// AFact marks EnumsFact as a fact type.
+func (*EnumsFact) AFact() {}
+
+// Analyzer is the exhaustive check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "require switches over //lint:exhaustive enum types to handle every " +
+		"declared constant (escape: //lint:exhaustive-ok on the switch or its default)",
+	Run:        run,
+	FactTypes:  []analysis.Fact{(*EnumsFact)(nil)},
+	Directives: []string{"exhaustive", "exhaustive-ok"},
+}
+
+func run(pass *analysis.Pass) error {
+	local := collectEnums(pass)
+	if len(local) > 0 {
+		fact := &EnumsFact{Enums: make(map[string][]string, len(local))}
+		for name, consts := range local {
+			fact.Enums[name] = consts
+		}
+		pass.ExportPackageFact(fact)
+	}
+
+	// constantsOf resolves the declared constant set of a switch tag's
+	// type: locally for enums of this package, via the package fact for
+	// imported enums.
+	constantsOf := func(t types.Type) (*types.Named, []string) {
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return nil, nil
+		}
+		if named.Obj().Pkg() == pass.Pkg {
+			return named, local[named.Obj().Name()]
+		}
+		var fact EnumsFact
+		if !pass.ImportPackageFact(named.Obj().Pkg(), &fact) {
+			return nil, nil
+		}
+		return named, fact.Enums[named.Obj().Name()]
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named, consts := constantsOf(tv.Type)
+			if len(consts) == 0 {
+				return true
+			}
+			checkSwitch(pass, sw, named, consts)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectEnums finds the package's `//lint:exhaustive` named integer
+// types and their constants, in declaration order.
+func collectEnums(pass *analysis.Pass) map[string][]string {
+	marked := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := pass.DocDirective(gd.Doc, "exhaustive"); ok {
+					marked[ts.Name.Name] = true
+					continue
+				}
+				if _, ok := pass.DocDirective(ts.Doc, "exhaustive"); ok {
+					marked[ts.Name.Name] = true
+					continue
+				}
+				if _, ok := pass.DirectiveArgs(ts.Pos(), "exhaustive"); ok {
+					marked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+	enums := make(map[string][]string, len(marked))
+	// Walk const declarations in file order so the constant list is in
+	// declaration order (scope iteration would alphabetize it).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || obj.Type() == nil {
+						continue
+					}
+					named, ok := obj.Type().(*types.Named)
+					if !ok || named.Obj().Pkg() != pass.Pkg || !marked[named.Obj().Name()] {
+						continue
+					}
+					enums[named.Obj().Name()] = append(enums[named.Obj().Name()], obj.Name())
+				}
+			}
+		}
+	}
+	return enums
+}
+
+// checkSwitch verifies one switch over an annotated enum.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named, consts []string) {
+	covered := make(map[string]bool)
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			e = ast.Unparen(e)
+			var id *ast.Ident
+			switch e := e.(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				continue
+			}
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c] {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	typeName := named.Obj().Name()
+	if named.Obj().Pkg() != pass.Pkg {
+		typeName = named.Obj().Pkg().Name() + "." + typeName
+	}
+	if deflt != nil {
+		if args, ok := pass.DirectiveArgs(deflt.Pos(), "exhaustive-ok"); ok {
+			if args == "" {
+				pass.Reportf(deflt.Pos(), "//lint:exhaustive-ok needs a reason")
+			}
+			return
+		}
+	}
+	if args, ok := pass.DirectiveArgs(sw.Pos(), "exhaustive-ok"); ok {
+		if args == "" {
+			pass.Reportf(sw.Pos(), "//lint:exhaustive-ok needs a reason")
+		}
+		return
+	}
+	if deflt != nil {
+		pass.Reportf(deflt.Pos(), "default hides unhandled %s constants %s: add explicit cases or annotate //lint:exhaustive-ok <reason>",
+			typeName, strings.Join(missing, ", "))
+		return
+	}
+	pass.Reportf(sw.Pos(), "switch over %s does not handle %s: add the missing cases, a default, or //lint:exhaustive-ok <reason>",
+		typeName, strings.Join(missing, ", "))
+}

@@ -1,0 +1,80 @@
+package exhaustive_test
+
+import (
+	"strings"
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer,
+		"clumsy/internal/cluster",
+		"clumsy/internal/fleet",
+	)
+}
+
+// fsmMirror mirrors the real fleet health FSM transition switch: five
+// states, every arm explicit.
+const fsmMirror = `package cluster
+
+// NodeState is the fleet health FSM state.
+//
+//lint:exhaustive
+type NodeState int
+
+const (
+	StateHealthy NodeState = iota
+	StateSuspect
+	StateDegraded
+	StateDraining
+	StateDead
+)
+
+// next returns the state after one verdict-driven step.
+func next(s NodeState, ok bool) NodeState {
+	switch s {
+	case StateHealthy:
+		if !ok {
+			return StateSuspect
+		}
+		return StateHealthy
+	case StateSuspect:
+		if ok {
+			return StateHealthy
+		}
+		return StateDegraded
+	case StateDegraded:
+		if ok {
+			return StateSuspect
+		}
+		return StateDraining
+	case StateDraining:
+		return StateDead
+	case StateDead:
+		return StateDead
+	}
+	return s
+}
+`
+
+// TestMutationDeletedSwitchArm deletes the StateDead arm from a mirror
+// of the real FSM transition switch — the missed-arm bug class a sixth
+// state would introduce into every switch that isn't checked.
+func TestMutationDeletedSwitchArm(t *testing.T) {
+	files := map[string]string{"internal/cluster/fsm.go": fsmMirror}
+	if got := analysistest.CheckSource(t, exhaustive.Analyzer, files); len(got) != 0 {
+		t.Fatalf("pristine mirror must be clean, got %v", got)
+	}
+
+	mutated := strings.Replace(fsmMirror, "\tcase StateDead:\n\t\treturn StateDead\n", "", 1)
+	if mutated == fsmMirror {
+		t.Fatal("mutation did not apply")
+	}
+	files["internal/cluster/fsm.go"] = mutated
+	got := analysistest.CheckSource(t, exhaustive.Analyzer, files)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "switch over NodeState does not handle StateDead") {
+		t.Fatalf("deleted switch arm must be caught, got %v", got)
+	}
+}

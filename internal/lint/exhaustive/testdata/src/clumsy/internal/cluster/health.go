@@ -1,0 +1,84 @@
+// Fixture: the fleet health FSM enum and the switch shapes that occur in
+// the real tree — missing arms, hiding defaults, excused defaults,
+// guard-excused switches, and total switches.
+package cluster
+
+// NodeState is the health FSM state.
+//
+//lint:exhaustive
+type NodeState int
+
+const (
+	StateHealthy NodeState = iota
+	StateSuspect
+	StateDegraded
+	StateDraining
+	StateDead
+)
+
+// bad forgets two states and has no default.
+func bad(s NodeState) int {
+	switch s { // want `switch over NodeState does not handle StateDead, StateDraining: add the missing cases, a default, or //lint:exhaustive-ok <reason>`
+	case StateHealthy, StateSuspect:
+		return 0
+	case StateDegraded:
+		return 1
+	}
+	return 2
+}
+
+// hidden papers over four states with a catch-all.
+func hidden(s NodeState) int {
+	switch s {
+	case StateHealthy:
+		return 0
+	default: // want `default hides unhandled NodeState constants StateDead, StateDegraded, StateDraining, StateSuspect`
+		return 1
+	}
+}
+
+// excused is the deliberate-catch-all shape (String methods).
+func excused(s NodeState) string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	default: //lint:exhaustive-ok every non-healthy state renders as one label here
+		return "unwell"
+	}
+}
+
+// guarded is the control-flow-guarded shape: the switch is total given
+// the guard above it, so the escape sits on the statement.
+func guarded(s NodeState) int {
+	if s == StateDead {
+		return -1
+	}
+	//lint:exhaustive-ok StateDead is rejected by the guard above
+	switch s {
+	case StateHealthy, StateSuspect, StateDegraded, StateDraining:
+		return int(s)
+	}
+	return 0
+}
+
+// reasonless escapes without saying why.
+func reasonless(s NodeState) int {
+	switch s {
+	case StateHealthy:
+		return 0
+	//lint:exhaustive-ok
+	default: // want `//lint:exhaustive-ok needs a reason`
+		return 1
+	}
+}
+
+// total handles every state: silent.
+func total(s NodeState) bool {
+	switch s {
+	case StateHealthy, StateSuspect, StateDegraded:
+		return true
+	case StateDraining, StateDead:
+		return false
+	}
+	return false
+}

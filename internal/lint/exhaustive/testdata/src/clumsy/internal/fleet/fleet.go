@@ -1,0 +1,26 @@
+// Fixture: switches over an enum imported from another package — the
+// constant set arrives via the EnumsFact, since the annotation comment is
+// invisible in export data.
+package fleet
+
+import "clumsy/internal/lint/exhaustive/testdata/src/clumsy/internal/cluster"
+
+func assess(s cluster.NodeState) int {
+	switch s { // want `switch over cluster.NodeState does not handle StateDead, StateSuspect: add the missing cases, a default, or //lint:exhaustive-ok <reason>`
+	case cluster.StateHealthy, cluster.StateDegraded, cluster.StateDraining:
+		return 0
+	}
+	return 1
+}
+
+func label(s cluster.NodeState) string {
+	switch s {
+	case cluster.StateHealthy:
+		return "up"
+	case cluster.StateSuspect, cluster.StateDegraded:
+		return "wobbly"
+	case cluster.StateDraining, cluster.StateDead:
+		return "down"
+	}
+	return "?"
+}

@@ -31,7 +31,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "floatcmp",
 	Doc: "flag ==/!= on floating-point operands in the numeric kernels " +
 		"(zero-sentinel comparisons allowed; escape: //lint:floatcmp-ok)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"floatcmp-ok"},
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,63 @@
+package fpcover_test
+
+import (
+	"strings"
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/fpcover"
+)
+
+func TestFpCover(t *testing.T) {
+	analysistest.Run(t, fpcover.Analyzer,
+		"clumsy/internal/clumsy",
+		"clumsy/internal/experiment",
+	)
+}
+
+// journalMirror mirrors the real Options.fingerprint sink: every
+// result-determining option feeds the id struct.
+const journalMirror = `package experiment
+
+//lint:fingerprint-source
+type Options struct {
+	Packets int
+	Trials  int
+	Seed    int64
+}
+
+// fingerprint derives the journal cell key.
+//
+//lint:fingerprint-sink
+func (o Options) fingerprint(study string, index int) int {
+	id := struct {
+		Study   string
+		Index   int
+		Packets int
+		Trials  int
+		Seed    int64
+	}{Study: study, Index: index, Packets: o.Packets, Trials: o.Trials, Seed: o.Seed}
+	return id.Index + id.Packets
+}
+`
+
+// TestMutationDroppedFingerprintInput deletes the Seed input from a
+// mirror of the real journal fingerprint: the silent-stale-resume bug
+// class fpcover exists for.
+func TestMutationDroppedFingerprintInput(t *testing.T) {
+	files := map[string]string{"internal/experiment/journal.go": journalMirror}
+	if got := analysistest.CheckSource(t, fpcover.Analyzer, files); len(got) != 0 {
+		t.Fatalf("pristine mirror must be clean, got %v", got)
+	}
+
+	mutated := strings.Replace(journalMirror, "\t\tSeed    int64\n", "", 1)
+	mutated = strings.Replace(mutated, ", Seed: o.Seed}", "}", 1)
+	if mutated == journalMirror {
+		t.Fatal("mutation did not apply")
+	}
+	files["internal/experiment/journal.go"] = mutated
+	got := analysistest.CheckSource(t, fpcover.Analyzer, files)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "Options field Seed does not flow into the campaign fingerprint") {
+		t.Fatalf("dropped fingerprint input must be caught, got %v", got)
+	}
+}

@@ -1,0 +1,15 @@
+// Fixture: the processor-side fingerprint source. Config lives one
+// package below the journal sink, so its field list travels to the sink
+// package as a fact.
+package clumsy
+
+// Config mirrors the real per-run configuration.
+//
+//lint:fingerprint-source
+type Config struct {
+	Packets   int
+	Seed      int64
+	CycleTime float64 //lint:fingerprint-extra table1 grid axis, serialized in the study Extra
+	Telemetry bool    //lint:fingerprint-exempt observability wiring, cannot change a Result
+	Planes    int     // not in the sink id and not annotated: reported at the sink
+}

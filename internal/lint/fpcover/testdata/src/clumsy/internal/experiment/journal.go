@@ -1,0 +1,28 @@
+// Fixture: the journal-side fingerprint sink plus a same-package source.
+// Options fields must reach the id struct or carry an annotation; Config
+// fields arrive via the package fact and report at the sink.
+package experiment
+
+import "clumsy/internal/lint/fpcover/testdata/src/clumsy/internal/clumsy"
+
+// Options mirrors the real campaign options.
+//
+//lint:fingerprint-source
+type Options struct {
+	Packets int
+	Trials  int // want `Options field Trials does not flow into the campaign fingerprint`
+	Ctx     int //lint:fingerprint-exempt steers execution, not results
+	//lint:fingerprint-exempt
+	Retries int // want `//lint:fingerprint-exempt on Options.Retries needs an argument`
+}
+
+// fingerprint derives the journal cell key.
+//
+//lint:fingerprint-sink
+func fingerprint(o Options, c clumsy.Config) int { // want `clumsy.Config field Planes does not flow into the campaign fingerprint`
+	id := struct {
+		Packets int
+		Seed    int64
+	}{Packets: o.Packets + c.Packets, Seed: c.Seed}
+	return id.Packets + int(id.Seed)
+}

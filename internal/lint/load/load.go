@@ -33,6 +33,7 @@ import (
 type Package struct {
 	PkgPath   string
 	Dir       string
+	Imports   []string // direct imports, as listed by `go list`
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Types     *types.Package
@@ -45,6 +46,7 @@ type listedPackage struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -90,7 +92,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, &pp)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	// Dependency order (imports before importers, alphabetical within a
+	// rank): a cross-package facts driver must have analyzed a package
+	// before any package that imports it.
+	sortDeps(targets)
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -113,6 +118,36 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// sortDeps orders the targets topologically by their import edges within
+// the target set, deterministically: alphabetical first, then a
+// depth-first postorder, so two runs always emit packages identically.
+func sortDeps(targets []*listedPackage) {
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	byPath := make(map[string]*listedPackage, len(targets))
+	for _, t := range targets {
+		byPath[t.ImportPath] = t
+	}
+	seen := make(map[string]bool, len(targets))
+	ordered := make([]*listedPackage, 0, len(targets))
+	var visit func(t *listedPackage)
+	visit = func(t *listedPackage) {
+		if seen[t.ImportPath] {
+			return
+		}
+		seen[t.ImportPath] = true
+		for _, imp := range t.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		ordered = append(ordered, t)
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+	copy(targets, ordered)
 }
 
 // check parses and type-checks one listed package from source.
@@ -150,6 +185,7 @@ func check(fset *token.FileSet, imp types.Importer, t *listedPackage) (*Package,
 	return &Package{
 		PkgPath:   t.ImportPath,
 		Dir:       t.Dir,
+		Imports:   t.Imports,
 		Fset:      fset,
 		Files:     files,
 		Types:     typesPkg,

@@ -1,0 +1,69 @@
+// Package staledirect keeps the escape-hatch inventory honest: after the
+// whole clumsylint suite has run over a package, any `//lint:` directive
+// that no analyzer consumed — an escape that no longer suppresses a
+// diagnostic, an annotation on nothing, or a misspelled directive name —
+// is itself reported. Without this check the exemption list only ever
+// grows: a `//lint:wallclock-ok` outlives the time.Now it excused and
+// quietly licenses the next one.
+//
+// The analyzer must run after every other analyzer of the suite (the
+// driver runs analyzers in list order per package, so it registers last),
+// and it is constructed from the suite so it knows the set of legitimate
+// directive names.
+package staledirect
+
+import (
+	"sort"
+	"strings"
+
+	"clumsy/internal/lint/analysis"
+)
+
+// New builds the staledirect analyzer for a suite: the suite's declared
+// directive names (plus staledirect's own ignore escape) are the known
+// vocabulary; anything else is reported as unknown.
+func New(suite []*analysis.Analyzer) *analysis.Analyzer {
+	known := map[string]bool{"stale-ok": true}
+	var names []string
+	for _, a := range suite {
+		for _, d := range a.Directives {
+			if !known[d] {
+				known[d] = true
+				names = append(names, d)
+			}
+		}
+	}
+	sort.Strings(names)
+	return &analysis.Analyzer{
+		Name: "staledirect",
+		Doc: "report //lint: directives no analyzer consumed (stale escapes, " +
+			"orphaned annotations, misspelled names); known: " + strings.Join(names, ", "),
+		Run:        func(pass *analysis.Pass) error { return run(pass, known) },
+		Directives: []string{"stale-ok"},
+	}
+}
+
+func run(pass *analysis.Pass, known map[string]bool) error {
+	if pass.Directives == nil {
+		return nil
+	}
+	for _, d := range pass.Directives.All() {
+		if d.Used {
+			continue
+		}
+		if !known[d.Name] {
+			pass.Reportf(d.Pos, "unknown directive //lint:%s — misspelled, or its analyzer is not registered", d.Name)
+			continue
+		}
+		if d.Name == "stale-ok" {
+			continue
+		}
+		// A deliberate keep (e.g. a directive documented in a fixture)
+		// can carry //lint:stale-ok <reason> on the same line.
+		if _, ok := pass.DirectiveArgs(d.Pos, "stale-ok"); ok {
+			continue
+		}
+		pass.Reportf(d.Pos, "stale directive //lint:%s: no analyzer consumed it here — the exception it excused is gone, so remove it", d.Name)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package staledirect_test
+
+import (
+	"strings"
+	"testing"
+
+	"clumsy/internal/lint/analysis"
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/exhaustive"
+	"clumsy/internal/lint/staledirect"
+)
+
+// enumSrc exercises every staledirect outcome against a real consumer
+// (exhaustive): a consumed escape, a stale escape, an excused keep, and
+// an unknown directive.
+const enumSrc = `package cluster
+
+//lint:exhaustive
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+)
+
+// use consumes its escape: the default really does hide ModeB.
+func use(m Mode) int {
+	switch m {
+	case ModeA:
+		return 0
+	default: //lint:exhaustive-ok ModeB folds into the slow path
+		return 1
+	}
+}
+
+// total is fully handled, so the escape above its switch is stale.
+func total(m Mode) int {
+	//lint:exhaustive-ok left over from a two-arm draft
+	switch m {
+	case ModeA, ModeB:
+		return int(m)
+	}
+	return 0
+}
+
+// kept carries the same dead escape, deliberately excused.
+func kept(m Mode) int {
+	//lint:stale-ok exercised by the staledirect test
+	//lint:exhaustive-ok kept deliberately
+	switch m {
+	case ModeA, ModeB:
+		return int(m)
+	}
+	return 0
+}
+
+// boot carries a directive whose analyzer is not in this suite.
+//
+//lint:wallclock-ok detwalk is not registered here
+func boot() {}
+`
+
+func TestStaleDirect(t *testing.T) {
+	suite := []*analysis.Analyzer{exhaustive.Analyzer}
+	analyzers := append(suite, staledirect.New(suite))
+	files := map[string]string{"internal/cluster/mode.go": enumSrc}
+	got := analysistest.CheckSourceSuite(t, analyzers, files)
+	if len(got) != 2 {
+		t.Fatalf("want exactly 2 findings (stale + unknown), got %v", got)
+	}
+	if got[0].Analyzer != "staledirect" || !strings.Contains(got[0].Message, "stale directive //lint:exhaustive-ok") {
+		t.Errorf("finding 0: want stale exhaustive-ok, got %v", got[0])
+	}
+	if got[1].Analyzer != "staledirect" || !strings.Contains(got[1].Message, "unknown directive //lint:wallclock-ok") {
+		t.Errorf("finding 1: want unknown wallclock-ok, got %v", got[1])
+	}
+}

@@ -1,0 +1,210 @@
+// Package statecover enforces checkpoint coverage: every field of a
+// struct annotated `//lint:checkpoint <func> [<func> ...]` must be
+// referenced by at least one of the named checkpoint functions (its
+// Snapshot/Restore/syncDisabled surface), directly or through
+// same-package calls, or carry `//lint:ephemeral <reason>` explaining why
+// it survives rollback. This is exactly the bug class PR 5's
+// `syncDisabled` fix and PR 7's re-clock pinning patched by hand: a new
+// stateful field that the snapshot pair silently ignores corrupts
+// re-execution only when a fault lands, which a determinism test cannot
+// see until it is too late.
+//
+// Coverage is one-of-any, not all-of-each: `deadLines` is maintained by
+// `syncDisabled` rather than copied by `snapshot`, and that is correct —
+// what must never happen is a field no checkpoint function knows about.
+package statecover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"clumsy/internal/lint/analysis"
+)
+
+// Analyzer is the statecover check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statecover",
+	Doc: "require every field of a //lint:checkpoint struct to be referenced by " +
+		"its checkpoint functions or annotated //lint:ephemeral <reason>",
+	Run:        run,
+	Directives: []string{"checkpoint", "ephemeral"},
+}
+
+func run(pass *analysis.Pass) error {
+	decls := funcDecls(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				args, pos, ok := checkpointDirective(pass, gd, ts)
+				if !ok {
+					continue
+				}
+				st, isStruct := ts.Type.(*ast.StructType)
+				if !isStruct {
+					pass.Reportf(pos, "//lint:checkpoint on non-struct type %s", ts.Name.Name)
+					continue
+				}
+				names := strings.FieldsFunc(args, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+				if len(names) == 0 {
+					pass.Reportf(pos, "//lint:checkpoint on %s names no checkpoint functions", ts.Name.Name)
+					continue
+				}
+				covered := coveredFields(pass, decls, names, ts.Name.Name, pos)
+				checkStruct(pass, ts.Name.Name, st, covered)
+			}
+		}
+	}
+	return nil
+}
+
+// checkpointDirective finds the checkpoint annotation of a type spec in
+// its decl doc, spec doc, or the line above the spec.
+func checkpointDirective(pass *analysis.Pass, gd *ast.GenDecl, ts *ast.TypeSpec) (string, token.Pos, bool) {
+	if args, ok := pass.DocDirective(gd.Doc, "checkpoint"); ok {
+		return args, gd.Pos(), true
+	}
+	if args, ok := pass.DocDirective(ts.Doc, "checkpoint"); ok {
+		return args, ts.Pos(), true
+	}
+	if args, ok := pass.DirectiveArgs(ts.Pos(), "checkpoint"); ok {
+		return args, ts.Pos(), true
+	}
+	return "", token.NoPos, false
+}
+
+// funcDecls maps every function object declared in the package to its
+// declaration.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// coveredFields walks the named checkpoint functions and every
+// same-package function they transitively call, collecting the struct
+// field objects their bodies reference (selector reads/writes and keyed
+// composite-literal entries both count).
+func coveredFields(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, names []string, typeName string, dirPos token.Pos) map[types.Object]bool {
+	byName := make(map[string][]*types.Func)
+	for fn := range decls {
+		byName[fn.Name()] = append(byName[fn.Name()], fn)
+	}
+	var queue []*types.Func
+	for _, name := range names {
+		fns := byName[name]
+		if len(fns) == 0 {
+			pass.Reportf(dirPos, "//lint:checkpoint on %s names %q, which is not declared in this package", typeName, name)
+			continue
+		}
+		queue = append(queue, fns...)
+	}
+
+	covered := make(map[types.Object]bool)
+	visited := make(map[*types.Func]bool)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && obj.IsField() {
+				covered[obj] = true
+			}
+			if callee, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if _, local := decls[callee]; local && !visited[callee] {
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// checkStruct reports the fields of one annotated struct that no
+// checkpoint function references and no ephemeral annotation excuses.
+func checkStruct(pass *analysis.Pass, typeName string, st *ast.StructType, covered map[types.Object]bool) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			// Embedded field: resolve its implicit field object.
+			obj := embeddedVar(pass, field.Type)
+			name := "(embedded)"
+			if obj != nil {
+				name = obj.Name()
+			}
+			checkField(pass, typeName, name, field.Type.Pos(), obj, covered)
+			continue
+		}
+		for _, name := range field.Names {
+			obj, _ := pass.TypesInfo.Defs[name].(*types.Var)
+			checkField(pass, typeName, name.Name, name.Pos(), obj, covered)
+		}
+	}
+}
+
+func checkField(pass *analysis.Pass, typeName, name string, pos token.Pos, obj *types.Var, covered map[types.Object]bool) {
+	if obj == nil || covered[obj] {
+		return
+	}
+	if reason, ok := pass.DirectiveArgs(pos, "ephemeral"); ok {
+		if reason == "" {
+			pass.Reportf(pos, "//lint:ephemeral on %s.%s needs a reason", typeName, name)
+		}
+		return
+	}
+	pass.Reportf(pos, "field %s of checkpointable struct %s is not referenced by its checkpoint functions: copy it or annotate //lint:ephemeral <reason>",
+		name, typeName)
+}
+
+// embeddedVar resolves the field object of an embedded field expression.
+func embeddedVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.Sel
+		case *ast.Ident:
+			// The ident names the embedded type; the implicit field var
+			// shares its name within the enclosing struct and is recorded
+			// as a def-less use, so fall back to name-based matching via
+			// the type's object. Defs carries the field var for embedded
+			// fields keyed by the same ident in go/types.
+			if v, ok := pass.TypesInfo.Defs[e].(*types.Var); ok {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

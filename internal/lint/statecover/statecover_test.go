@@ -1,0 +1,65 @@
+package statecover_test
+
+import (
+	"strings"
+	"testing"
+
+	"clumsy/internal/lint/analysistest"
+	"clumsy/internal/lint/statecover"
+)
+
+func TestStateCover(t *testing.T) {
+	analysistest.Run(t, statecover.Analyzer, "clumsy/internal/cache")
+}
+
+// l1Mirror mirrors the real L1Data checkpoint surface: tab is carried by
+// snapshot/restore, deadLines only by syncDisabled — the exact shape of
+// the PR 5 bug, where RestoreSnapshot forgot to recount disabled lines.
+const l1Mirror = `package cache
+
+// L1Data mirrors the real data cache.
+//
+//lint:checkpoint snapshot, restore, syncDisabled
+type L1Data struct {
+	tab       []uint64
+	deadLines int
+}
+
+func (c *L1Data) snapshot(dst []uint64) {
+	copy(dst, c.tab)
+}
+
+func (c *L1Data) restore(src []uint64) {
+	copy(c.tab, src)
+}
+
+func (c *L1Data) syncDisabled() {
+	n := 0
+	for _, w := range c.tab {
+		if w != 0 {
+			n++
+		}
+	}
+	c.deadLines = n
+}
+`
+
+// TestMutationDeletedSyncSite re-creates the hand-patched PR 5 bug in a
+// fixture mirror: deleting the syncDisabled recount — the only checkpoint
+// reference to deadLines — must be reported by statecover.
+func TestMutationDeletedSyncSite(t *testing.T) {
+	files := map[string]string{"internal/cache/l1.go": l1Mirror}
+	if got := analysistest.CheckSource(t, statecover.Analyzer, files); len(got) != 0 {
+		t.Fatalf("pristine mirror must be clean, got %v", got)
+	}
+
+	mutated := strings.Replace(l1Mirror, "\tc.deadLines = n\n", "\t_ = n\n", 1)
+	if mutated == l1Mirror {
+		t.Fatal("mutation did not apply")
+	}
+	files["internal/cache/l1.go"] = mutated
+	got := analysistest.CheckSource(t, statecover.Analyzer, files)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "field deadLines of checkpointable struct L1Data is not referenced") {
+		t.Fatalf("deleted sync site must be caught, got %v", got)
+	}
+}

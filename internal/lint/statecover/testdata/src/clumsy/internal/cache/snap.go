@@ -1,0 +1,45 @@
+// Fixture: checkpoint coverage of a cache-like table. One field is
+// silently unknown to the snapshot pair (true positive), derived config
+// is excused as ephemeral (annotated exemption), an ephemeral annotation
+// without a reason is itself reported, and a field maintained only by a
+// helper the restore path calls is covered transitively.
+package cache
+
+// table mirrors the real set-associative store.
+//
+//lint:checkpoint snapshot,restore
+type table struct {
+	tag   uint64
+	data  []byte
+	lru   uint8 // want `field lru of checkpointable struct table is not referenced by its checkpoint functions`
+	shift uint  //lint:ephemeral derived from the geometry at construction, never mutated
+	tick  uint64
+	//lint:ephemeral
+	epoch uint64 // want `//lint:ephemeral on table.epoch needs a reason`
+	dead  int    // maintained by sync, reached from restore: covered
+}
+
+func (t *table) snapshot(dst *table) {
+	dst.tag = t.tag
+	dst.tick = t.tick
+	copy(dst.data, t.data)
+}
+
+func (t *table) restore(src *table) {
+	t.tag = src.tag
+	t.tick = src.tick
+	t.data = append(t.data[:0], src.data...)
+	t.sync()
+}
+
+func (t *table) sync() {
+	t.dead = len(t.data)
+}
+
+// ghost has a checkpoint annotation naming a function that does not
+// exist, which must be reported rather than silently covering nothing.
+//
+//lint:checkpoint ghostSnap
+type ghost struct { // want `//lint:checkpoint on ghost names "ghostSnap", which is not declared in this package`
+	v int // want `field v of checkpointable struct ghost is not referenced`
+}

@@ -27,7 +27,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "telemnames",
 	Doc: "require telemetry counter/histogram/event names to come from the " +
 		"registry table in internal/telemetry (escape: //lint:telemname-dynamic)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"telemname-dynamic"},
 }
 
 func run(pass *analysis.Pass) error {

@@ -51,6 +51,8 @@ func (s *Space) DirtyPages() int {
 // restore point to the current state) and Restore copies them back
 // (rewinding to the last commit). Exactly one checkpoint can be active per
 // space; creating a new one supersedes the old.
+//
+//lint:checkpoint NewCheckpoint, Commit, Restore
 type Checkpoint struct {
 	space  *Space
 	shadow []byte
@@ -94,7 +96,10 @@ func (c *Checkpoint) forEachDirty(f func(start, end int)) int {
 // Commit folds every page written since the last commit (or since the
 // checkpoint was created) into the shadow, making the current state the new
 // restore point. It returns the number of pages committed.
+//
+//lint:hot-path
 func (c *Checkpoint) Commit() int {
+	//lint:alloc-ok the closure captures only the receiver; it is inlined, and the zero-alloc pin verifies it
 	n := c.forEachDirty(func(start, end int) {
 		copy(c.shadow[start:end], c.space.data[start:end])
 	})
@@ -106,7 +111,10 @@ func (c *Checkpoint) Commit() int {
 // commit and rewinds the allocation frontier, discarding everything the
 // aborted packet did to the simulated memory. It returns the number of
 // pages restored.
+//
+//lint:hot-path
 func (c *Checkpoint) Restore() int {
+	//lint:alloc-ok the closure captures only the receiver; it is inlined, and the zero-alloc pin verifies it
 	n := c.forEachDirty(func(start, end int) {
 		copy(c.space.data[start:end], c.shadow[start:end])
 	})

@@ -52,6 +52,10 @@ type Memory interface {
 // Space is the backing store: a flat byte array with a bump allocator.
 // When a Checkpoint is active, every store additionally marks the written
 // page in the dirty bitmap (see checkpoint.go); dirty is nil otherwise.
+// Every field is carried across a rollback by the checkpoint machinery;
+// the statecover analyzer keeps it that way.
+//
+//lint:checkpoint NewCheckpoint, Commit, Restore
 type Space struct {
 	data  []byte
 	brk   Addr

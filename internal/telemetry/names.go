@@ -3,6 +3,8 @@ package telemetry
 import "sort"
 
 // Kind classifies a registered telemetry name.
+//
+//lint:exhaustive
 type Kind int
 
 const (
