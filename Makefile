@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint fmt vet clumsylint lint-self lint-mutation race bench fleet
+.PHONY: all build test lint fmt vet clumsylint lint-self lint-mutation race bench fleet state
 
 all: build lint test
 
@@ -56,3 +56,9 @@ bench:
 # runs one fleet simulation instead.
 fleet:
 	$(GO) run ./cmd/clumsy fleet -progress
+
+# state runs the state-integrity study: flow-table corruption detection
+# and the recovery ladder for the stateful apps (fw, flowtrack) across
+# fault regime x scrub interval x workload shape.
+state:
+	$(GO) run ./cmd/clumsy state -progress

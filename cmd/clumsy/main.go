@@ -39,6 +39,7 @@ import (
 	"clumsy/internal/metrics"
 	"clumsy/internal/packet"
 	"clumsy/internal/telemetry"
+	"clumsy/internal/workload"
 )
 
 func main() {
@@ -77,6 +78,9 @@ type cliOpts struct {
 	nodes       int
 	faulty      int
 	dispatch    string
+	wl          *workload.Spec // workload-v2 spec, nil = canonical trace
+	scrub       int
+	stateStr    int
 	args        []string // positional arguments after the flags
 	tel         *telemetry.Telemetry
 }
@@ -94,6 +98,7 @@ func (o cliOpts) fleetConfig(pol cluster.DispatchPolicy) cluster.Config {
 		Dynamic:         o.dynamic,
 		Recovery:        o.recovery,
 		NodeMaxDropRate: o.maxDropRate,
+		Workload:        o.wl,
 		Telemetry:       o.tel,
 	}
 	if o.crSet {
@@ -117,6 +122,9 @@ func (o cliOpts) runConfig() clumsy.Config {
 		Recovery:       o.recovery,
 		MaxDropRate:    o.maxDropRate,
 		WatchdogFactor: o.watchdog,
+		ScrubInterval:  o.scrub,
+		StateStrikes:   o.stateStr,
+		Workload:       o.wl,
 	}
 }
 
@@ -159,6 +167,11 @@ func run(args []string, w io.Writer) (err error) {
 	nodes := fs.Int("nodes", 0, "fleet: node count (0 = 8)")
 	faulty := fs.Int("faulty", -1, "fleet: hostile node count for one fleet simulation (-1 = run the degradation study instead)")
 	dispatchPolicy := fs.String("dispatch", "", "fleet: dispatch policy, flow (default) or least")
+	shape := fs.String("shape", "", "workload-v2 temporal shape: steady, diurnal, flash, or onoff (empty = canonical trace)")
+	adversarial := fs.Float64("adversarial", 0, "workload-v2 malformed-packet fraction (truncated/fuzzed wire images)")
+	churn := fs.Float64("churn", 0, "workload-v2 flow-churn fraction (each churned packet gets a fresh flow identity)")
+	scrub := fs.Int("scrub", 0, "flow-table scrub interval in packets for stateful apps (0 = default, negative = disabled)")
+	stateStrikes := fs.Int("state-strikes", 0, "per-record corruption strike budget before the run is declared unrecoverable (0 = default)")
 	quick := fs.Bool("quick", false, "bench: reduced matrix and packet counts (CI smoke-test scale)")
 	compareFlag := fs.Bool("compare", false, "bench: compare two snapshot files (bench -compare OLD NEW) instead of running")
 	threshold := fs.Float64("threshold", bench.DefaultThreshold, "bench -compare: relative regression gate on tracked metrics")
@@ -226,7 +239,19 @@ func run(args []string, w io.Writer) (err error) {
 		nodes:       *nodes,
 		faulty:      *faulty,
 		dispatch:    *dispatchPolicy,
+		scrub:       *scrub,
+		stateStr:    *stateStrikes,
 		args:        fs.Args(),
+	}
+	if *shape != "" || *adversarial > 0 || *churn > 0 {
+		sh := workload.ShapeSteady
+		if *shape != "" {
+			var perr error
+			if sh, perr = workload.ParseShape(*shape); perr != nil {
+				return perr
+			}
+		}
+		o.wl = &workload.Spec{Shape: sh, Adversarial: *adversarial, Churn: *churn}
 	}
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "cr" {
@@ -528,6 +553,22 @@ func execute(cmd string, o cliOpts, w io.Writer) error {
 			return err
 		}
 		return emitTable(experiment.FleetRender(o.app, cells, opt))
+	case "state":
+		// The state-integrity study: flow-table corruption detection and
+		// recovery for the stateful apps, journaled and resumable like
+		// every other campaign.
+		for i, app := range experiment.StateApps() {
+			cells, err := experiment.StateIntegrity(app, opt)
+			if err != nil {
+				return err
+			}
+			if err := emitTable(experiment.StateIntegrityRender(app, cells, opt)); err != nil {
+				return err
+			}
+			if i < len(experiment.StateApps())-1 {
+				fmt.Fprintln(w)
+			}
+		}
 	case "trace":
 		return dumpTrace(w, o.app, max(o.packets, 20), max64(o.seed, 1), o.out)
 	case "bench":
@@ -724,6 +765,11 @@ func report(w io.Writer, res *clumsy.Result) error {
 			res.LinesDisabled, res.DisabledFrac*100, res.Recovery.LineReEnables,
 			res.Recovery.Bypasses, res.SpatialBackoffs)
 	}
+	if res.StateRecords > 0 {
+		fmt.Fprintf(w, "state: %d flow records; %d mismatches detected, %d evicted, %d rebuilt, %d scrub passes; end-of-run divergence %d (%d undetected)\n",
+			res.StateRecords, res.StateDetected, res.StateEvictions, res.StateRebuilds,
+			res.StateScrubs, res.StateDiverged, res.StateUndetected)
+	}
 	fmt.Fprintf(w, "faults: %d read, %d write; parity errors %d, retries %d, recoveries %d\n",
 		res.Recovery.FaultsOnRead, res.Recovery.FaultsOnWrite,
 		res.Recovery.ParityErrors, res.Recovery.Retries, res.Recovery.Recoveries)
@@ -860,6 +906,11 @@ extensions (beyond the paper's evaluation; -app selects the workload):
                graceful-degradation curve: drop rate and IPC vs the
                force-disabled L1D capacity fraction (-app selects the curve's
                workload)
+  state        state-integrity study for the stateful apps (fw, flowtrack):
+               fault regime x scrub interval x workload shape, reporting
+               checksum detections, recovery-ladder actions, and end-of-run
+               flow-record divergence vs the golden shadow (-packets -trials
+               -scale; journaled/resumable with -journal/-resume)
 
 common flags: -packets N  -trials N  -scale X  -seed N  -format text|csv
               -out f (write output atomically to f instead of stdout)
@@ -897,6 +948,26 @@ fault containment (any simulation command):
   -watchdog X            per-packet instruction budget as a multiple of the
                          golden run's worst packet (0 = default 500); tight
                          budgets (< 1) make heavy packets trip the watchdog
+
+stateful apps (fw, flowtrack; run/stats/fleet commands):
+  -scrub N               flow-table scrub interval in packets (0 = default 64,
+                         negative = disabled); the scrub pass verifies every
+                         record's checksum and runs the recovery ladder on
+                         latent corruption
+  -state-strikes N       per-record corruption budget: strike 1 evicts the
+                         record, later strikes rebuild it from the golden
+                         shadow, exhausting the budget ends the run with an
+                         unrecoverable-state error (0 = default 4)
+
+workload v2 (run/stats/fleet commands):
+  -shape S               temporal shape: steady, diurnal, flash, or onoff;
+                         fleet runs modulate arrival gaps by the shape, batch
+                         runs keep the trace order but scale the adversarial
+                         and churn pressure with the local intensity
+  -adversarial X         fraction of packets replaced by malformed wire images
+                         (truncated headers, fuzzed header fields)
+  -churn X               fraction of packets rewritten into fresh one-packet
+                         flows (flow-churn flood against stateful tables)
 
 observability (any command):
   -trace-out f.jsonl   structured event trace of every simulated run

@@ -74,6 +74,18 @@ type ScratchResetter interface {
 	ResetScratch()
 }
 
+// StatefulApp is implemented by applications that keep per-flow state in
+// a simmem.StateTable persisting across packet boundaries — state a
+// contained drop cannot fully recover. The processor discovers the table
+// after Setup and wires the integrity machinery around it: the corruption
+// ladder handler, the periodic scrub pass, shadow commit/rollback at
+// packet boundaries, and the end-of-run divergence audit.
+type StatefulApp interface {
+	// StateTable returns the app's flow-state table, or nil if this run
+	// keeps none.
+	StateTable() *simmem.StateTable
+}
+
 // routingSeed fixes the prefix population shared by an app's routing table
 // and its generated traffic; the table contents are part of the workload
 // definition, not of the experiment seed.

@@ -259,12 +259,14 @@ func TestRunMicroCase(t *testing.T) {
 	}
 }
 
-// TestMatrixShape pins the case counts of both modes.
+// TestMatrixShape pins the case counts of both modes: the seven paper
+// apps plus the two stateful extensions in full mode, a four-app spread
+// (including one stateful app) in quick mode.
 func TestMatrixShape(t *testing.T) {
-	if got := len(matrix(false)); got != 7*3*3 {
-		t.Errorf("full matrix has %d cases, want 63", got)
+	if got := len(matrix(false)); got != 9*3*3 {
+		t.Errorf("full matrix has %d cases, want 81", got)
 	}
-	if got := len(matrix(true)); got != 3*3*3 {
-		t.Errorf("quick matrix has %d cases, want 27", got)
+	if got := len(matrix(true)); got != 4*3*3 {
+		t.Errorf("quick matrix has %d cases, want 36", got)
 	}
 }

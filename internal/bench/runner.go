@@ -42,14 +42,15 @@ type simCase struct {
 }
 
 // matrix builds the benchmark's simulator cases: every paper application
-// under every recovery policy and fault regime. Quick mode keeps every
-// (policy, regime) combination but only a three-application spread (table
-// lookup, hashing, pattern match), so the smoke test still touches each
-// recovery path.
+// plus the stateful extensions (fw, flowtrack) under every recovery
+// policy and fault regime. Quick mode keeps every (policy, regime)
+// combination but only a four-application spread (table lookup, hashing,
+// pattern match, stateful firewall), so the smoke test still touches each
+// recovery path and the state-integrity machinery.
 func matrix(quick bool) []simCase {
-	names := apps.Names()
+	names := append(apps.Names(), "fw", "flowtrack")
 	if quick {
-		names = []string{"route", "md5", "url"}
+		names = []string{"route", "md5", "url", "fw"}
 	}
 	policies := []struct {
 		pol  clumsy.RecoveryPolicy

@@ -209,6 +209,32 @@ func (t *table) invalidateRange(addr simmem.Addr, n int) {
 	}
 }
 
+// flushRange writes back, via sink, every valid dirty line overlapping
+// [addr, addr+n) and marks it clean. It is the write-back half of a
+// coherent DMA: invalidateRange alone discards unwritten stores that
+// merely share a line with the DMA target, silently reverting neighbouring
+// bytes to their stale backing-store image.
+func (t *table) flushRange(addr simmem.Addr, n int, sink func(simmem.Addr, []byte) error) error {
+	first := t.lineBase(addr)
+	last := t.lineBase(addr + simmem.Addr(n) - 1)
+	for a := first; ; a += simmem.Addr(t.cfg.BlockSize) {
+		set, tag := t.index(a)
+		ways := t.sets[set]
+		for w := range ways {
+			if ways[w].valid && ways[w].dirty && ways[w].tag == tag {
+				if err := sink(a, ways[w].data); err != nil {
+					return err
+				}
+				ways[w].dirty = false
+			}
+		}
+		if a >= last {
+			break
+		}
+	}
+	return nil
+}
+
 // lineState is the restorable bookkeeping of one cache line; the byte
 // payloads live in flat buffers of the tableSnap so repeated snapshots
 // reuse the same allocations.

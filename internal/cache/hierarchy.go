@@ -101,6 +101,24 @@ func (h *Hierarchy) DMA(addr simmem.Addr, data []byte) error {
 	return nil
 }
 
+// CoherentDMA is DMA with the write-back half of coherence: dirty cached
+// lines overlapping the range are flushed to the backing store before the
+// DMA data lands and the stale copies are invalidated. Plain DMA may
+// discard unwritten stores that share a cache line with the target range;
+// the state-repair ladder uses this variant so rewriting one flow record
+// cannot silently revert its line neighbours to stale memory images. The
+// L2 flushes before the L1D: the L1 holds the newest copy of any doubly
+// dirty line, so its bytes must land last.
+func (h *Hierarchy) CoherentDMA(addr simmem.Addr, data []byte) error {
+	if err := h.L2.FlushRange(addr, len(data), h.Space.WriteBlock); err != nil {
+		return err
+	}
+	if err := h.L1D.FlushRange(addr, len(data), h.Space.WriteBlock); err != nil {
+		return err
+	}
+	return h.DMA(addr, data)
+}
+
 // Snapshot is a deep copy of the restorable state of every cache level —
 // line payloads, tags, valid/dirty bits, parity/ECC check bits, and LRU
 // order. Together with a simmem.Checkpoint of the backing space it captures

@@ -398,6 +398,12 @@ func (c *L1Data) InvalidateAll() { c.tab.invalidateAll() }
 // write-back (DMA coherence).
 func (c *L1Data) InvalidateRange(addr simmem.Addr, n int) { c.tab.invalidateRange(addr, n) }
 
+// FlushRange writes back every dirty line overlapping the given byte range
+// through sink and marks it clean — the write-back half of a coherent DMA.
+func (c *L1Data) FlushRange(addr simmem.Addr, n int, sink func(simmem.Addr, []byte) error) error {
+	return c.tab.flushRange(addr, n, sink)
+}
+
 // The charge helpers below are the only places the L1D's stall-cycle,
 // attribution, and energy accumulators may be written; the cycleacct
 // analyzer enforces this, so any cost-model change to the clumsy cache

@@ -137,6 +137,78 @@ func TestInvalidateRangeDropsExactLines(t *testing.T) {
 	}
 }
 
+// TestCoherentDMAPreservesDirtyLineNeighbours pins the write-back half of
+// CoherentDMA. A store sits dirty in the caches; a plain DMA to a
+// different address in the same line discards it with the invalidation,
+// silently reverting the neighbour to its stale memory image. CoherentDMA
+// must flush the dirty bytes to the backing store first, so the neighbour
+// survives the invalidation. This is the state-repair ladder's coherence
+// contract: rewriting one flow record must not destroy the unwritten
+// stores of the records sharing its cache lines.
+func TestCoherentDMAPreservesDirtyLineNeighbours(t *testing.T) {
+	build := func() (*Hierarchy, simmem.Addr) {
+		space := simmem.NewSpace(1 << 20)
+		m := fault.NewModel(1e-9)
+		inj := fault.NewInjector(m, fault.NewRNG(1), 32)
+		h, err := NewHierarchy(space, inj, DetectionNone, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := space.MustAlloc(256, 256)
+		// The neighbour's store: dirty in L1, not written back.
+		if err := h.L1D.Store32(a, 0xfeedface); err != nil {
+			t.Fatal(err)
+		}
+		return h, a
+	}
+	image := []byte{1, 2, 3, 4}
+
+	// Plain DMA to the same L1 line (word 1, the neighbour is word 0)
+	// loses the neighbour — the documented incoherent behaviour.
+	h, a := build()
+	if err := h.DMA(a+4, image); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.L1D.Load32(a); v == 0xfeedface {
+		t.Fatal("plain DMA kept the dirty neighbour; the coherent variant is untestable")
+	}
+
+	// CoherentDMA flushes first: the neighbour's bytes survive.
+	h, a = build()
+	if err := h.CoherentDMA(a+4, image); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.L1D.Load32(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xfeedface {
+		t.Fatalf("neighbour word = %#x after CoherentDMA, want 0xfeedface", v)
+	}
+	// The DMA payload itself landed.
+	got, err := h.L1D.Load32(a + 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x04030201 {
+		t.Fatalf("DMA payload = %#x, want 0x04030201", got)
+	}
+
+	// A dirty line in the L2 only (evicted from L1) is flushed too.
+	h, a = build()
+	// Evict the dirty L1 line into L2: the L1D is 4 KB direct-mapped, so
+	// touching a+4096 claims the same set.
+	if _, err := h.L1D.Load32(a + 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CoherentDMA(a+4, image); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.L1D.Load32(a); v != 0xfeedface {
+		t.Fatalf("L2-dirty neighbour word = %#x after CoherentDMA, want 0xfeedface", v)
+	}
+}
+
 func TestDMAOverwritesCachedData(t *testing.T) {
 	space := simmem.NewSpace(1 << 20)
 	m := fault.NewModel(1e-9)

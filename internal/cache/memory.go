@@ -147,6 +147,12 @@ func (c *L2) InvalidateAll() { c.tab.invalidateAll() }
 // write-back (DMA coherence).
 func (c *L2) InvalidateRange(addr simmem.Addr, n int) { c.tab.invalidateRange(addr, n) }
 
+// FlushRange writes back every dirty line overlapping the given byte range
+// through sink and marks it clean — the write-back half of a coherent DMA.
+func (c *L2) FlushRange(addr simmem.Addr, n int, sink func(simmem.Addr, []byte) error) error {
+	return c.tab.flushRange(addr, n, sink)
+}
+
 var _ Backend = (*L2)(nil)
 
 func min(a, b int) int {

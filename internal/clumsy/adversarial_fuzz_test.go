@@ -1,0 +1,63 @@
+package clumsy
+
+import (
+	"testing"
+
+	"clumsy/internal/apps"
+	"clumsy/internal/cache"
+	"clumsy/internal/packet"
+)
+
+// FuzzAdversarialParse feeds arbitrary wire images through the stateful
+// applications' defensive parsers inside the full containment machinery.
+// The invariants: no Go panic escapes the simulator (an app panic is a
+// simulated trap, contained like any fault), the run always completes
+// under the unbounded drop policy, and rejected packets are not free —
+// parsing a malformed image still charges instructions and cycles.
+func FuzzAdversarialParse(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint64(1))
+	f.Add([]byte{0x45}, uint8(1), uint64(7))
+	// A plausible-but-corrupt header: version/IHL ok, length field lies.
+	f.Add([]byte{0x45, 0, 0xff, 0xff, 0, 0, 0, 0, 64, 6, 0, 0,
+		10, 0, 0, 1, 10, 0, 0, 2, 0, 80, 0, 80}, uint8(0), uint64(42))
+	f.Fuzz(func(t *testing.T, raw []byte, appIdx uint8, seed uint64) {
+		if len(raw) > 512 {
+			raw = raw[:512] // bound the wire image like a real MTU would
+		}
+		app := []string{"fw", "flowtrack"}[int(appIdx)%2]
+		proto, err := apps.New(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := packet.Generate(proto.TraceConfig(12, seed%1000+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Plant the fuzzed image on several packets, interleaved with
+		// well-formed ones so flow state is live around each parse.
+		for i := 2; i < len(trace.Packets); i += 3 {
+			trace.Packets[i].Raw = raw
+		}
+		cfg := Config{
+			App: app, Seed: seed%1000 + 1, CycleTime: 0.5,
+			Detection: cache.DetectionParity, Strikes: 2,
+			FaultScale: 1e-6, Recovery: RecoverDrop,
+		}
+		res, err := RunWithTrace(cfg, trace)
+		if err != nil {
+			t.Fatalf("RunWithTrace: %v", err)
+		}
+		if res.FatalErr != nil {
+			t.Fatalf("unbounded drop policy ended fatally on a malformed image: %v", res.FatalErr)
+		}
+		if got := res.Report.Processed + res.Report.Dropped; got != len(trace.Packets) {
+			t.Fatalf("attempted %d of %d packets", got, len(trace.Packets))
+		}
+		if res.GoldenInstrs == 0 || res.GoldenCycles == 0 {
+			t.Fatal("malformed packets were processed for free; rejection must charge cycles")
+		}
+		if res.StateUndetected != 0 {
+			t.Fatalf("%d silently diverged flow records in a near-fault-free run", res.StateUndetected)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"clumsy/internal/cache"
+	"clumsy/internal/workload"
 )
 
 // resultBytes serializes everything a run reports — the metrics.Report plus
@@ -46,6 +47,14 @@ func resultBytes(t *testing.T, r *Result) []byte {
 		PermanentHits    uint64
 		IntermittentHits uint64
 		SpatialBackoffs  int
+
+		StateRecords    int
+		StateDetected   uint64
+		StateEvictions  uint64
+		StateRebuilds   uint64
+		StateScrubs     uint64
+		StateDiverged   int
+		StateUndetected int
 	}{
 		Report:        r.Report,
 		GoldenCycles:  r.GoldenCycles,
@@ -74,6 +83,14 @@ func resultBytes(t *testing.T, r *Result) []byte {
 		PermanentHits:    r.PermanentHits,
 		IntermittentHits: r.IntermittentHits,
 		SpatialBackoffs:  r.SpatialBackoffs,
+
+		StateRecords:    r.StateRecords,
+		StateDetected:   r.StateDetected,
+		StateEvictions:  r.StateEvictions,
+		StateRebuilds:   r.StateRebuilds,
+		StateScrubs:     r.StateScrubs,
+		StateDiverged:   r.StateDiverged,
+		StateUndetected: r.StateUndetected,
 	})
 	if err != nil {
 		t.Fatalf("marshal result: %v", err)
@@ -115,6 +132,31 @@ func TestRunDeterminism(t *testing.T) {
 		{"predisable-degrade", Config{App: "route", Packets: 150, Seed: 5, FaultScale: 2e3,
 			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
 			Recovery: RecoverDegrade, Regime: RegimePermanent, PreDisableFrac: 0.25}},
+
+		// The stateful applications under every recovery policy: the state
+		// guard (verified lookups, scrub passes, recovery ladder, shadow
+		// commit/restore) must be as bit-deterministic as the rest of the
+		// machine, including under the adversarial workload substrate.
+		{"fw-abort", Config{App: "fw", Packets: 150, Seed: 7, FaultScale: 25,
+			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverAbort}},
+		{"fw-drop-burst", Config{App: "fw", Packets: 200, Seed: 9, FaultScale: 25,
+			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverDrop, Regime: RegimeBurst, ScrubInterval: 32,
+			Workload: &workload.Spec{Shape: workload.ShapeFlash, Adversarial: 0.15, Churn: 0.25}}},
+		{"fw-degrade-permanent", Config{App: "fw", Packets: 200, Seed: 3, FaultScale: 25,
+			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverDegrade, Regime: RegimePermanent, StateStrikes: 6}},
+		{"flowtrack-abort", Config{App: "flowtrack", Packets: 150, Seed: 5, FaultScale: 25,
+			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverAbort, Workload: &workload.Spec{Shape: workload.ShapeOnOff, Churn: 0.2}}},
+		{"flowtrack-drop", Config{App: "flowtrack", Packets: 200, Seed: 11, FaultScale: 25,
+			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverDrop, Regime: RegimeBurst}},
+		{"flowtrack-degrade", Config{App: "flowtrack", Packets: 200, Seed: 13, FaultScale: 25,
+			CycleTime: 0.5, Detection: cache.DetectionParity, Strikes: 2,
+			Recovery: RecoverDegrade, Regime: RegimePermanent,
+			Workload: &workload.Spec{Shape: workload.ShapeDiurnal, Adversarial: 0.1}}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -105,6 +105,7 @@ type Node struct {
 
 	ckpt       *simmem.Checkpoint
 	cacheState *cache.Snapshot
+	guard      *stateGuard
 
 	buf    simmem.Addr // reused DMA buffer (line-aligned)
 	bufCap int
@@ -243,16 +244,26 @@ func OpenNode(cfg Config, trace *packet.Trace, cal Calibration) (*Node, error) {
 	proc.SetEnabled(false)
 	rec.BeginPackets()
 
+	// State-integrity machinery around a stateful app's flow table, exactly
+	// as the batch path wires it (the node has no run trace, so events are
+	// discarded; counters and the ladder still run).
+	if sa, ok := app.(apps.StatefulApp); ok && sa.StateTable() != nil {
+		n.guard = newStateGuard(sa.StateTable(), h, nil, eng, cfg)
+	}
+
 	// One line-aligned DMA buffer, reused for every packet, sized for the
 	// largest packet of the workload: a streaming node must not grow its
 	// simulated memory per packet.
-	maxPayload := 0
+	maxWire := 0
 	for i := range trace.Packets {
-		if l := len(trace.Packets[i].Payload); l > maxPayload {
-			maxPayload = l
+		if l := trace.Packets[i].WireLen(); l > maxWire {
+			maxWire = l
 		}
 	}
-	n.bufCap = (packet.HeaderLen + maxPayload + 31) &^ 31
+	n.bufCap = (maxWire + 31) &^ 31
+	if n.bufCap < 32 {
+		n.bufCap = 32
+	}
 	n.buf, err = space.Alloc(n.bufCap, 32)
 	if err != nil {
 		return nil, err
@@ -293,7 +304,16 @@ func (n *Node) Process(p *packet.Packet) (NodeOutcome, error) {
 		return NodeOutcome{}, err
 	}
 	n.eng.beginPacket()
+	if n.guard != nil {
+		n.guard.packet = n.attempted - 1
+	}
 	if err := processPacket(n.app, n.ctx, p, n.buf); err != nil {
+		if errors.Is(err, ErrStateCorrupt) {
+			// Unrecoverable cross-packet state: terminal under every policy.
+			n.dead = true
+			n.fatal = err
+			return NodeOutcome{Dropped: true, Fatal: true, Reason: dropReason(err), Cycles: n.lap()}, nil
+		}
 		if !isFatal(err) {
 			return NodeOutcome{}, err
 		}
@@ -314,6 +334,9 @@ func (n *Node) Process(p *packet.Packet) (NodeOutcome, error) {
 		}
 		n.ckpt.Restore()
 		n.h.RestoreSnapshot(n.cacheState)
+		if n.guard != nil {
+			n.guard.st.RestoreShadow()
+		}
 		n.contained++
 		n.rec.DropPacket()
 		if sr, ok := n.app.(apps.ScratchResetter); ok {
@@ -332,9 +355,22 @@ func (n *Node) Process(p *packet.Packet) (NodeOutcome, error) {
 	}
 	n.rec.EndPacket()
 	n.processed++
+	if n.guard != nil && n.guard.scrubDue(n.processed) {
+		if err := n.guard.scrubPass(n.ctx.Mem, n.attempted-1); err != nil {
+			if !errors.Is(err, ErrStateCorrupt) && !isFatal(err) {
+				return NodeOutcome{}, err
+			}
+			n.dead = true
+			n.fatal = err
+			return NodeOutcome{Dropped: true, Fatal: true, Reason: dropReason(err), Cycles: n.lap()}, nil
+		}
+	}
 	if n.ckpt != nil {
 		n.ckpt.Commit()
 		n.cacheState = n.h.Snapshot(n.cacheState)
+	}
+	if n.guard != nil {
+		n.guard.st.CommitShadow()
 	}
 	if n.ctrl != nil {
 		newErrors := n.h.L1D.Recovery.ParityErrors - n.parityMark
@@ -358,8 +394,14 @@ func (n *Node) lap() float64 {
 // DMA engine would: straight to backing memory, invalidating stale cached
 // copies of the range.
 func (n *Node) dmaInto(p *packet.Packet) error {
-	if size := packet.HeaderLen + len(p.Payload); size > n.bufCap {
+	if size := p.WireLen(); size > n.bufCap {
 		return fmt.Errorf("clumsy: packet (%d bytes) exceeds the node's DMA buffer (%d)", size, n.bufCap)
+	}
+	if p.Raw != nil {
+		if len(p.Raw) == 0 {
+			return nil
+		}
+		return n.h.DMA(n.buf, p.Raw)
 	}
 	hdr := p.Header()
 	if err := n.h.DMA(n.buf, hdr[:]); err != nil {

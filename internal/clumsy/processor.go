@@ -14,6 +14,7 @@ import (
 	"clumsy/internal/radix"
 	"clumsy/internal/simmem"
 	"clumsy/internal/telemetry"
+	"clumsy/internal/workload"
 )
 
 // Planes selects which execution segments receive fault injection, for the
@@ -263,6 +264,28 @@ type Config struct {
 	// threshold (drop forever).
 	MaxDropRate float64
 
+	// ScrubInterval, for stateful applications, walks the flow-state
+	// table with verified reads every this many completed packets,
+	// catching silent corruption between lookups. Zero disables the
+	// scrub; verify-on-lookup and the recovery ladder stay armed whenever
+	// the app keeps a state table.
+	//lint:fingerprint-extra the state-integrity study sweeps the scrub interval in Extra
+	ScrubInterval int
+
+	// StateStrikes bounds the per-record recovery ladder: detection
+	// strike 1 evicts the record, later strikes rebuild it from the
+	// golden shadow, and reaching the budget ends the run with
+	// ErrStateCorrupt. Zero selects DefaultStateStrikes.
+	//lint:fingerprint-extra the state-integrity study carries the strike budget in Extra
+	StateStrikes int
+
+	// Workload, when non-nil, post-processes the generated trace with the
+	// workload-v2 substrate (temporal shape, adversarial malformed
+	// packets, flow churn) before the run. Run applies it; RunWithTrace
+	// callers shape their trace themselves.
+	//lint:fingerprint-extra the state-integrity study names the workload spec in Extra
+	Workload *workload.Spec
+
 	// SpaceBytes overrides the simulated memory size (0 = auto).
 	//lint:fingerprint-extra geometry cells carry their sizing in Extra
 	SpaceBytes int
@@ -333,6 +356,20 @@ type Result struct {
 	Contained     int    // fatal errors contained as packet drops
 	RestoredPages uint64 // checkpoint pages rolled back across all drops
 
+	// State-integrity bookkeeping (zero for stateless apps and while the
+	// machinery is dormant). Detected counts checksum mismatches caught
+	// on lookup or scrub; Diverged and Undetected come from the
+	// end-of-run audit against the golden shadow — Undetected is the
+	// silent channel, records differing from the shadow whose stored
+	// checksum nevertheless verifies (a checksum collision).
+	StateRecords    int
+	StateDetected   uint64
+	StateEvictions  uint64
+	StateRebuilds   uint64
+	StateScrubs     uint64 // scrub passes completed
+	StateDiverged   int
+	StateUndetected int
+
 	// Recovery-ladder bookkeeping (zero while the ladder is dormant).
 	LinesDisabled    int       // L1D frames dead at run end
 	DisabledFrac     float64   // fraction of L1D capacity dead at run end
@@ -386,6 +423,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Workload != nil {
+		trace = cfg.Workload.Apply(trace, cfg.Seed)
+	}
 	return RunWithTrace(cfg, trace)
 }
 
@@ -432,6 +472,13 @@ func RunWithTrace(cfg Config, trace *packet.Trace) (*Result, error) {
 	res.SetupDied = faulty.setupDied
 	res.Contained = faulty.contained
 	res.RestoredPages = faulty.restoredPages
+	res.StateRecords = faulty.stateRecords
+	res.StateDetected = faulty.stateDetected
+	res.StateEvictions = faulty.stateEvictions
+	res.StateRebuilds = faulty.stateRebuilds
+	res.StateScrubs = faulty.stateScrubs
+	res.StateDiverged = faulty.stateDiverged
+	res.StateUndetected = faulty.stateUndetected
 	res.LinesDisabled = faulty.linesDisabled
 	res.DisabledFrac = faulty.disabledFrac
 	res.StrikeHist = faulty.strikeHist
@@ -485,6 +532,15 @@ type onceResult struct {
 	contained     int
 	restoredPages uint64
 	watchdogKills int
+
+	// State-integrity accounting (zero for stateless apps).
+	stateRecords    int
+	stateDetected   uint64
+	stateEvictions  uint64
+	stateRebuilds   uint64
+	stateScrubs     uint64
+	stateDiverged   int
+	stateUndetected int
 
 	// Recovery-ladder accounting (zero while the ladder is dormant).
 	linesDisabled    int
@@ -672,6 +728,17 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 	rec.BeginPackets()
 	setupCycles := eng.totalCycles()
 
+	// State-integrity machinery: if Setup registered a flow-state table,
+	// install the corruption ladder around it. The guard exists in both
+	// the golden and the faulty pass — verified lookups and scrub walks
+	// must charge the same instruction stream in both, or the golden
+	// reference would stop being a reference — but the ladder only ever
+	// fires where faults exist.
+	var guard *stateGuard
+	if sa, ok := app.(apps.StatefulApp); ok && sa.StateTable() != nil {
+		guard = newStateGuard(sa.StateTable(), h, rt, eng, cfg)
+	}
+
 	// Checkpoint the post-setup state before the injector is re-enabled.
 	// The restore point is the complete architectural memory state — the
 	// backing space (dirty-page granular) plus a deep copy of every cache
@@ -709,7 +776,21 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			return nil, err
 		}
 		eng.beginPacket()
+		if guard != nil {
+			guard.packet = i
+		}
 		if err := processPacket(app, ctx, p, buf); err != nil {
+			if errors.Is(err, ErrStateCorrupt) {
+				// The recovery ladder is exhausted: flow state has
+				// diverged beyond what eviction and shadow rebuild can
+				// repair. This outcome is terminal under every policy —
+				// containment can drop a packet, but it cannot un-lose
+				// the table.
+				out.drops++
+				rt.PacketDrop(i, dropReason(err))
+				out.fatal = err
+				break
+			}
 			if !isFatal(err) {
 				return nil, err
 			}
@@ -737,6 +818,9 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			// started from; only its burned cycles remain.
 			pages := ckpt.Restore()
 			h.RestoreSnapshot(cacheState)
+			if guard != nil {
+				guard.st.RestoreShadow()
+			}
 			out.contained++
 			out.restoredPages += uint64(pages)
 			rec.DropPacket()
@@ -767,10 +851,29 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 			histCycles.Observe(uint64(now - prevCycles))
 			prevCycles = now
 		}
+		if guard != nil && guard.scrubDue(processed) {
+			// Periodic integrity scrub, before the boundary commit so any
+			// repairs fold into the next restore point. A scrub that
+			// exhausts the ladder ends the run like an in-packet
+			// exhaustion would.
+			if err := guard.scrubPass(ctx.Mem, i); err != nil {
+				if !errors.Is(err, ErrStateCorrupt) && !isFatal(err) {
+					return nil, err
+				}
+				out.fatal = err
+				break
+			}
+			if histInstrs != nil {
+				prevCycles = eng.totalCycles() // scrub cycles are not packet cycles
+			}
+		}
 		if ckpt != nil {
 			// Advance the restore point to this packet boundary.
 			ckpt.Commit()
 			cacheState = h.Snapshot(cacheState)
+		}
+		if guard != nil {
+			guard.st.CommitShadow()
 		}
 		if ctrl != nil {
 			newErrors := h.L1D.Recovery.ParityErrors - parityMark
@@ -784,6 +887,19 @@ func runOnce(cfg Config, trace *packet.Trace, inj *injection, budget uint64) (*o
 	}
 	captureLadder(out, h, burst, stuck, ctrl)
 	finish(out, eng, h, cfg, ctrl, setupCycles, processed)
+	if guard != nil {
+		guard.capture(out)
+		if inj != nil {
+			// End-of-run divergence audit: read the table as the machine
+			// sees it (through the cache, injector off so the audit itself
+			// is clean) and compare against the golden shadow. Runs after
+			// finish so the measured stats exclude audit accesses.
+			proc.SetEnabled(false)
+			if err := guard.audit(out); err != nil {
+				return nil, err
+			}
+		}
+	}
 	finishTelemetry(tel, rt, out, eng, h, ctrl, processed)
 	return out, nil
 }
@@ -896,6 +1012,25 @@ func isFatal(err error) bool {
 //
 //lint:hot-path
 func dmaPacket(h *cache.Hierarchy, p *packet.Packet) (simmem.Addr, error) {
+	if p.Raw != nil {
+		// Malformed wire image: DMA exactly the bytes the NIC received,
+		// however few. The buffer keeps the canonical minimum footprint
+		// so layouts stay stable.
+		size := (len(p.Raw) + 31) &^ 31
+		if size == 0 {
+			size = 32
+		}
+		buf, err := h.Space.Alloc(size, 32) //lint:alloc-ok Alloc allocates only on its out-of-arena error path
+		if err != nil {
+			return 0, err
+		}
+		if len(p.Raw) > 0 {
+			if err := h.DMA(buf, p.Raw); err != nil { //lint:alloc-ok DMA allocates only its fault-diagnostic AccessError
+				return 0, err
+			}
+		}
+		return buf, nil
+	}
 	size := (packet.HeaderLen + len(p.Payload) + 31) &^ 31
 	buf, err := h.Space.Alloc(size, 32) //lint:alloc-ok Alloc allocates only on its out-of-arena error path
 	if err != nil {
@@ -918,7 +1053,11 @@ func dmaPacket(h *cache.Hierarchy, p *packet.Packet) (simmem.Addr, error) {
 func autoSpaceBytes(trace *packet.Trace) int {
 	total := 8 << 20 // tables, code, queues
 	for i := range trace.Packets {
-		total += (packet.HeaderLen + len(trace.Packets[i].Payload) + 31) &^ 31
+		s := (trace.Packets[i].WireLen() + 31) &^ 31
+		if s < 32 {
+			s = 32
+		}
+		total += s
 	}
 	// Round to the next MiB for stable layouts across nearby trace sizes.
 	return (total + 1<<20) &^ (1<<20 - 1)

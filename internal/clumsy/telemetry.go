@@ -123,6 +123,20 @@ func finishTelemetry(tel *telemetry.Telemetry, rt *telemetry.RunTrace, out *once
 		reg.Counter(telemetry.CtrFreqSwitches).Add(uint64(ctrl.Switches))
 		reg.Counter(telemetry.CtrFreqPenaltyCycles).Add(uint64(ctrl.PenaltyCycles))
 	}
+
+	// Flow-state integrity counters; all zero for stateless apps.
+	if out.stateDetected > 0 {
+		reg.Counter(telemetry.CtrStateDetected).Add(out.stateDetected)
+	}
+	if out.stateEvictions > 0 {
+		reg.Counter(telemetry.CtrStateEvictions).Add(out.stateEvictions)
+	}
+	if out.stateRebuilds > 0 {
+		reg.Counter(telemetry.CtrStateRebuilds).Add(out.stateRebuilds)
+	}
+	if out.stateScrubs > 0 {
+		reg.Counter(telemetry.CtrStateScrubs).Add(out.stateScrubs)
+	}
 	rt.RunEnd(processed, out.drops, eng.instrs, out.fatal != nil)
 }
 
@@ -153,6 +167,8 @@ func addCacheStats(reg *telemetry.Registry, level string, s cache.Stats) {
 func dropReason(err error) string {
 	var ae *simmem.AccessError
 	switch {
+	case errors.Is(err, ErrStateCorrupt):
+		return "state_corrupt"
 	case errors.Is(err, ErrWatchdog):
 		return "watchdog"
 	case errors.Is(err, radix.ErrLoop):

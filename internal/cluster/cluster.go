@@ -28,6 +28,7 @@ import (
 	"clumsy/internal/clumsy"
 	"clumsy/internal/packet"
 	"clumsy/internal/telemetry"
+	"clumsy/internal/workload"
 )
 
 // DispatchPolicy selects how admitted packets pick a node.
@@ -92,6 +93,12 @@ type Config struct {
 	// constant MeanGap. Nil generates the application's workload and
 	// draws exponential gaps (Poisson arrivals).
 	Trace *packet.Trace
+	// Workload, when non-nil, applies the workload-v2 spec: the packet
+	// stream is mutated (malformed wire images, flow churn) exactly as a
+	// batch run would, and arrival gaps are modulated by the temporal
+	// shape's intensity — a flash crowd compresses gaps 4x inside its
+	// window. Nil serves the canonical trace at the flat rate.
+	Workload *workload.Spec
 
 	QueueCap int            // per-node queue bound (0 = 64)
 	Dispatch DispatchPolicy // flow-hash (default) or least-loaded

@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"testing"
+
+	"clumsy/internal/workload"
 )
 
 func mustJSON(t *testing.T, r *Report) string {
@@ -120,6 +122,67 @@ func TestFleetGracefulDegradation(t *testing.T) {
 	}
 	if last := atts[len(atts)-1]; last >= atts[0] || last < 0.10 {
 		t.Errorf("degradation not graceful: attainments %v (want a decline, not a cliff to ~0)", atts)
+	}
+}
+
+// TestFleetAdversarialWorkloadConservation runs the fleet under a
+// workload-v2 spec — a flash crowd carrying malformed and flow-churn
+// traffic — and checks that (a) packet conservation holds (Run enforces
+// completed + nodeDrops + shed == arrivals internally and errors
+// otherwise, so a nil error is the assertion), (b) the run is
+// deterministic, and (c) the shaped arrivals actually perturb the fleet
+// relative to the steady baseline.
+func TestFleetAdversarialWorkloadConservation(t *testing.T) {
+	spec := &workload.Spec{Shape: workload.ShapeFlash, Adversarial: 0.15, Churn: 0.25}
+	cfg := Config{
+		App: "fw", Nodes: 4, Packets: 600, Seed: 11,
+		FaultyNodes: 1, FaultyScale: 60,
+		Workload: spec,
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("adversarial fleet run failed (conservation is checked inside Run): %v", err)
+	}
+	if r.Arrivals != cfg.Packets {
+		t.Errorf("arrivals %d, want every one of the %d packets offered", r.Arrivals, cfg.Packets)
+	}
+	if got := r.Completed + r.NodeDrops + r.Shed; got != r.Arrivals {
+		t.Errorf("report violates conservation: %d+%d+%d != %d",
+			r.Completed, r.NodeDrops, r.Shed, r.Arrivals)
+	}
+	if r.Completed == 0 {
+		t.Error("no packet completed under the adversarial workload")
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := mustJSON(t, r), mustJSON(t, r2); a != b {
+		t.Errorf("adversarial fleet run not deterministic:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	// The shaped/adversarial stream must change the fleet's behaviour —
+	// otherwise the spec never reached the arrival process or the nodes.
+	steady := cfg
+	steady.Workload = nil
+	rs, err := Run(steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, r) == mustJSON(t, rs) {
+		t.Error("workload spec had no observable effect on the fleet report")
+	}
+	// Flowtrack under a churn flood: same invariants on the other app.
+	cfg2 := Config{
+		App: "flowtrack", Nodes: 3, Packets: 500, Seed: 4,
+		Workload: &workload.Spec{Shape: workload.ShapeOnOff, Churn: 0.4},
+	}
+	rf, err := Run(cfg2)
+	if err != nil {
+		t.Fatalf("flowtrack churn fleet: %v", err)
+	}
+	if got := rf.Completed + rf.NodeDrops + rf.Shed; got != rf.Arrivals || rf.Completed == 0 {
+		t.Errorf("flowtrack churn conservation: %d+%d+%d vs %d arrivals",
+			rf.Completed, rf.NodeDrops, rf.Shed, rf.Arrivals)
 	}
 }
 

@@ -105,6 +105,12 @@ func Run(cfg Config) (*Report, error) {
 	if len(tr.Packets) == 0 {
 		return nil, errors.New("cluster: empty workload trace")
 	}
+	if cfg.Workload != nil {
+		// The same seeded mutation a batch run applies, so adversarial
+		// traffic reaches the nodes; arrival-gap modulation happens in
+		// scheduleNextArrival.
+		tr = cfg.Workload.Apply(tr, cfg.Seed)
+	}
 	cfg.Packets = len(tr.Packets)
 
 	cal, err := clumsy.Calibrate(cfg.nodeConfig(0), tr)
@@ -206,6 +212,13 @@ func (f *fleet) scheduleNextArrival() {
 	if f.cfg.Trace == nil {
 		// Poisson arrivals: exponential gaps off the dedicated stream.
 		gap = -math.Log(1-f.arr.Float64()) * f.meanGap
+	}
+	if f.cfg.Workload != nil {
+		// Temporal shape: the local intensity scales the arrival rate, so
+		// gaps compress inside a flash crowd and stretch through a trough.
+		// RateAt is bounded away from zero, so gaps stay finite.
+		frac := float64(f.arrIdx) / float64(len(f.trace.Packets))
+		gap /= f.cfg.Workload.RateAt(frac)
 	}
 	f.nextArrival += gap
 }

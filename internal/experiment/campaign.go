@@ -186,6 +186,7 @@ func simSemantic(err error) bool {
 	return errors.Is(err, clumsy.ErrDropRateExceeded) ||
 		errors.Is(err, clumsy.ErrWatchdog) ||
 		errors.Is(err, clumsy.ErrAppPanic) ||
+		errors.Is(err, clumsy.ErrStateCorrupt) ||
 		errors.Is(err, radix.ErrLoop) ||
 		errors.As(err, &ae)
 }

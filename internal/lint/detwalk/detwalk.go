@@ -3,7 +3,7 @@
 // a pure function of its configuration. Three classes of hidden
 // nondeterminism are rejected inside the deterministic sim core
 // (internal/{clumsy,cache,simmem,fault,apps,freqctl,metrics,packet,radix,
-// cluster}):
+// cluster,workload}):
 //
 //   - iteration over a Go map (`for range m`), whose order varies per
 //     process — a hot-path map walk silently changes access interleaving;
@@ -40,6 +40,7 @@ var CorePackages = []string{
 	"internal/packet",
 	"internal/radix",
 	"internal/cluster",
+	"internal/workload",
 }
 
 // Analyzer is the detwalk check.

@@ -27,10 +27,30 @@ type Packet struct {
 	Proto            uint8
 	TTL              uint8
 	Payload          []byte
+
+	// Raw, when non-nil, is the exact wire image DMA'd into simulated
+	// memory in place of the canonical Header()+Payload serialisation —
+	// the carrier for workload-v2's malformed packets (truncated or
+	// field-fuzzed headers). The metadata fields above still describe the
+	// packet the image was derived from; applications must parse the
+	// bytes defensively rather than trust them.
+	Raw []byte
 }
 
 // HeaderLen is the length of the serialised IPv4 header (no options).
 const HeaderLen = 20
+
+// WireLen is the number of bytes the packet occupies on the wire: the
+// raw image length when one is attached, the canonical header plus
+// payload otherwise. This is NIC descriptor metadata — applications may
+// trust it even for malformed packets, because the DMA engine knows how
+// many bytes it copied.
+func (p *Packet) WireLen() int {
+	if p.Raw != nil {
+		return len(p.Raw)
+	}
+	return HeaderLen + len(p.Payload)
+}
 
 // Header serialises the 20-byte IPv4 header with a correct checksum.
 func (p *Packet) Header() [HeaderLen]byte {

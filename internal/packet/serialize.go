@@ -15,7 +15,14 @@ import (
 // traceMagic identifies the format; the version gate allows evolution.
 var traceMagic = [4]byte{'C', 'L', 'T', 'R'}
 
-const traceVersion = 1
+// Version 1 carries metadata + payload per packet. Version 2 appends an
+// optional raw wire image (workload-v2 malformed packets). The writer
+// emits version 1 whenever no packet carries a raw image, so traces of
+// well-formed workloads stay byte-identical to earlier releases.
+const (
+	traceVersion   = 1
+	traceVersionV2 = 2
+)
 
 // maxSerializedPayload bounds per-packet payloads, protecting readers
 // against corrupt or hostile files; it comfortably covers jumbo frames.
@@ -23,11 +30,18 @@ const maxSerializedPayload = 9216
 
 // Serialize writes the trace in the binary format read by ReadTrace.
 func (t *Trace) Serialize(w io.Writer) error {
+	version := uint16(traceVersion)
+	for i := range t.Packets {
+		if t.Packets[i].Raw != nil {
+			version = traceVersionV2
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(traceMagic[:]); err != nil {
 		return err
 	}
-	hdr := []any{uint16(traceVersion), uint32(len(t.Packets))}
+	hdr := []any{version, uint32(len(t.Packets))}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
@@ -37,6 +51,9 @@ func (t *Trace) Serialize(w io.Writer) error {
 		p := &t.Packets[i]
 		if len(p.Payload) > maxSerializedPayload {
 			return fmt.Errorf("packet: payload of packet %d too large to serialise (%d)", i, len(p.Payload))
+		}
+		if len(p.Raw) > maxSerializedPayload+HeaderLen {
+			return fmt.Errorf("packet: raw image of packet %d too large to serialise (%d)", i, len(p.Raw))
 		}
 		fields := []any{
 			p.Src, p.Dst, p.SrcPort, p.DstPort, p.Proto, p.TTL,
@@ -49,6 +66,23 @@ func (t *Trace) Serialize(w io.Writer) error {
 		}
 		if _, err := bw.Write(p.Payload); err != nil {
 			return err
+		}
+		if version == traceVersionV2 {
+			hasRaw := uint8(0)
+			if p.Raw != nil {
+				hasRaw = 1
+			}
+			if err := binary.Write(bw, binary.LittleEndian, hasRaw); err != nil {
+				return err
+			}
+			if hasRaw == 1 {
+				if err := binary.Write(bw, binary.LittleEndian, uint16(len(p.Raw))); err != nil {
+					return err
+				}
+				if _, err := bw.Write(p.Raw); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return bw.Flush()
@@ -68,7 +102,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != traceVersion {
+	if version != traceVersion && version != traceVersionV2 {
 		return nil, fmt.Errorf("packet: unsupported trace version %d", version)
 	}
 	var count uint32
@@ -99,6 +133,27 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			p.Payload = make([]byte, plen)
 			if _, err := io.ReadFull(br, p.Payload); err != nil {
 				return nil, fmt.Errorf("packet: reading packet %d payload: %w", i, err)
+			}
+		}
+		if version == traceVersionV2 {
+			var hasRaw uint8
+			if err := binary.Read(br, binary.LittleEndian, &hasRaw); err != nil {
+				return nil, fmt.Errorf("packet: reading packet %d raw flag: %w", i, err)
+			}
+			if hasRaw == 1 {
+				var rlen uint16
+				if err := binary.Read(br, binary.LittleEndian, &rlen); err != nil {
+					return nil, fmt.Errorf("packet: reading packet %d raw length: %w", i, err)
+				}
+				if int(rlen) > maxSerializedPayload+HeaderLen {
+					return nil, fmt.Errorf("packet: packet %d raw length %d corrupt", i, rlen)
+				}
+				p.Raw = make([]byte, rlen)
+				if _, err := io.ReadFull(br, p.Raw); err != nil {
+					return nil, fmt.Errorf("packet: reading packet %d raw image: %w", i, err)
+				}
+			} else if hasRaw != 0 {
+				return nil, fmt.Errorf("packet: packet %d raw flag %d corrupt", i, hasRaw)
 			}
 		}
 		tr.Packets = append(tr.Packets, p)

@@ -32,6 +32,59 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceVersionGate pins the format evolution contract: a trace with
+// no raw wire images serialises as version 1, byte-compatible with
+// earlier releases; attaching any raw image switches the writer to
+// version 2.
+func TestTraceVersionGate(t *testing.T) {
+	tr := MustGenerate(TraceConfig{Packets: 10, Flows: 3, PayloadMin: 32, PayloadMax: 64, Seed: 5})
+	var v1 bytes.Buffer
+	if err := tr.Serialize(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if got := v1.Bytes()[4]; got != 1 {
+		t.Fatalf("well-formed trace serialised as version %d, want 1", got)
+	}
+	tr.Packets[3].Raw = []byte{0x45, 0x00}
+	var v2 bytes.Buffer
+	if err := tr.Serialize(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if got := v2.Bytes()[4]; got != 2 {
+		t.Fatalf("trace with a raw image serialised as version %d, want 2", got)
+	}
+}
+
+// TestTraceRoundTripRawImages round-trips workload-v2 malformed packets:
+// nil (canonical), truncated, empty, and full fuzzed images must all
+// survive serialisation distinguishably.
+func TestTraceRoundTripRawImages(t *testing.T) {
+	orig := MustGenerate(TraceConfig{Packets: 8, Flows: 2, PayloadMin: 16, PayloadMax: 32, Seed: 9})
+	orig.Packets[1].Raw = []byte{}                       // zero-byte arrival
+	orig.Packets[2].Raw = []byte{0x45, 0x00, 0x00}       // truncated header
+	orig.Packets[4].Raw = bytes.Repeat([]byte{0xa5}, 40) // fuzzed full image
+	var buf bytes.Buffer
+	if err := orig.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Packets {
+		a, b := &orig.Packets[i], &back.Packets[i]
+		if (a.Raw == nil) != (b.Raw == nil) {
+			t.Fatalf("packet %d raw nil-ness changed: %v vs %v", i, a.Raw, b.Raw)
+		}
+		if !bytes.Equal(a.Raw, b.Raw) {
+			t.Fatalf("packet %d raw image differs", i)
+		}
+		if a.WireLen() != b.WireLen() {
+			t.Fatalf("packet %d wire length %d != %d", i, a.WireLen(), b.WireLen())
+		}
+	}
+}
+
 func TestTraceRoundTripEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := (&Trace{}).Serialize(&buf); err != nil {

@@ -97,6 +97,10 @@ const (
 	CtrClusterRecoveries       = "cluster.recoveries"
 	CtrClusterDeaths           = "cluster.deaths"
 	CtrClusterSLOViolations    = "cluster.slo_violations"
+	CtrStateDetected           = "state.detected"
+	CtrStateEvictions          = "state.evictions"
+	CtrStateRebuilds           = "state.rebuilds"
+	CtrStateScrubs             = "state.scrubs"
 )
 
 // Registered histogram names.
@@ -124,6 +128,8 @@ const (
 	EventBurstExit      = "burst_exit"
 	EventNodeTransition = "node_transition"
 	EventNodeReclock    = "node_reclock"
+	EventStateCorrupt   = "state_corrupt"
+	EventStateScrub     = "state_scrub"
 )
 
 // CacheLevels are the per-level counter families of the memory hierarchy.
@@ -205,6 +211,10 @@ func init() {
 		{CtrClusterRecoveries, KindCounter, "nodes recovered from probation to healthy"},
 		{CtrClusterDeaths, KindCounter, "nodes declared dead and ejected from the fleet"},
 		{CtrClusterSLOViolations, KindCounter, "completed packets whose latency exceeded the SLO"},
+		{CtrStateDetected, KindCounter, "flow-record checksum mismatches detected by verified reads or scrub"},
+		{CtrStateEvictions, KindCounter, "corrupted flow records evicted (first recovery-ladder rung)"},
+		{CtrStateRebuilds, KindCounter, "corrupted flow records rebuilt from the golden shadow"},
+		{CtrStateScrubs, KindCounter, "periodic flow-table scrub passes completed"},
 
 		{HistPacketInstructions, KindHistogram, "instructions per completed packet"},
 		{HistPacketCycles, KindHistogram, "cycles per completed packet"},
@@ -226,6 +236,8 @@ func init() {
 		{EventBurstExit, KindEvent, "burst process returned to the good state"},
 		{EventNodeTransition, KindEvent, "one fleet-node health state transition"},
 		{EventNodeReclock, KindEvent, "one drain-complete re-clock of a fleet node"},
+		{EventStateCorrupt, KindEvent, "one recovery-ladder action on a corrupted flow record"},
+		{EventStateScrub, KindEvent, "one periodic flow-table scrub pass"},
 	}
 	for _, level := range CacheLevels {
 		for _, ev := range cacheEvents {

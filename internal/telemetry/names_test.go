@@ -52,15 +52,15 @@ func TestNamesTableContents(t *testing.T) {
 			events++
 		}
 	}
-	// 52 scalar counters + 4 cache levels x 6 events.
-	if want := 52 + len(CacheLevels)*6; counters != want {
+	// 56 scalar counters + 4 cache levels x 6 events.
+	if want := 56 + len(CacheLevels)*6; counters != want {
 		t.Errorf("got %d registered counters, want %d", counters, want)
 	}
 	if hists != 4 {
 		t.Errorf("got %d registered histograms, want 4", hists)
 	}
-	if events != 15 {
-		t.Errorf("got %d registered events, want 15", events)
+	if events != 17 {
+		t.Errorf("got %d registered events, want 17", events)
 	}
 }
 

@@ -330,6 +330,35 @@ func (rt *RunTrace) NodeReclock(node int, cr float64) {
 	rt.end(b)
 }
 
+// StateCorrupt records one recovery-ladder action on a corrupted flow
+// record: the packet during which the mismatch surfaced, the record index,
+// the action taken ("evict", "rebuild", or "unrecoverable"), and the
+// record's cumulative strike count.
+func (rt *RunTrace) StateCorrupt(packet, record int, action string, strikes int) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventStateCorrupt)
+	b = appendInt(b, "packet", int64(packet))
+	b = appendInt(b, "record", int64(record))
+	b = appendStr(b, "action", action)
+	b = appendInt(b, "strikes", int64(strikes))
+	rt.end(b)
+}
+
+// StateScrub records one periodic flow-table scrub pass: the packet index
+// after which it ran, the records verified, and the mismatches it caught.
+func (rt *RunTrace) StateScrub(packet, records, detected int) {
+	if rt == nil {
+		return
+	}
+	b := rt.begin(EventStateScrub)
+	b = appendInt(b, "packet", int64(packet))
+	b = appendInt(b, "records", int64(records))
+	b = appendInt(b, "detected", int64(detected))
+	rt.end(b)
+}
+
 // StateRestore records one fault-containment recovery: after dropping the
 // given packet, the control-plane state was rolled back to the last packet
 // boundary by restoring `pages` dirty pages of simulated memory.
