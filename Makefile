@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint fmt vet clumsylint lint-self lint-mutation race bench fleet state
+.PHONY: all build test lint fmt vet clumsylint lint-self lint-mutation race bench fleet state clumsyd crashtest
 
 all: build lint test
 
@@ -62,3 +62,17 @@ fleet:
 # fault regime x scrub interval x workload shape.
 state:
 	$(GO) run ./cmd/clumsy state -progress
+
+# clumsyd starts the campaign service on its default address with a local
+# data directory. Submit work with e.g.
+#   curl -X POST localhost:8377/campaigns -d '{"study":"table1"}'
+clumsyd:
+	$(GO) run ./cmd/clumsyd -data clumsyd-data
+
+# crashtest runs the kill-point matrix: deterministic I/O fault injection
+# (short writes, fsync errors, ENOSPC, torn renames) crashes the daemon at
+# every injected point; journals must be absent or replayable, never
+# corrupt, and recovery must complete byte-identically.
+crashtest:
+	$(GO) test -run 'TestCrashMatrix|TestKillAndRecover|TestSecondSignal' -v -timeout 10m ./cmd/clumsyd
+	$(GO) test -run 'TestWriteFileFaultMatrix|TestStreamingFileFaultMatrix' -timeout 5m ./internal/atomicio

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Exec tests for process-level behaviour the in-process suite cannot
+// reach: real signal delivery and exit codes.
+
+var (
+	cliBuildOnce sync.Once
+	cliBuildErr  error
+	cliBinPath   string
+)
+
+// clumsyBin builds the CLI once per test binary.
+func clumsyBin(t *testing.T) string {
+	t.Helper()
+	cliBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "clumsy-bin")
+		if err != nil {
+			cliBuildErr = err
+			return
+		}
+		cliBinPath = filepath.Join(dir, "clumsy")
+		out, err := exec.Command("go", "build", "-o", cliBinPath, "clumsy/cmd/clumsy").CombinedOutput()
+		if err != nil {
+			cliBuildErr = fmt.Errorf("building clumsy: %v\n%s", err, out)
+		}
+	})
+	if cliBuildErr != nil {
+		t.Fatal(cliBuildErr)
+	}
+	return cliBinPath
+}
+
+// TestSecondSigintForceQuits drives the documented interrupt contract:
+// the first SIGINT starts a graceful stop, a second one force-quits with
+// exit 130 — and even then the journal holds only complete, parseable
+// lines and the -out file was never published.
+func TestSecondSigintForceQuits(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "campaign.jsonl")
+	outFile := filepath.Join(dir, "result.txt")
+	// A heavyweight grid: each cell takes seconds, so the campaign is
+	// still mid-cell when the signals land.
+	cmd := exec.Command(clumsyBin(t), "table1", "-packets", "60000", "-trials", "2",
+		"-journal", journal, "-out", outFile)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var errLines bytes.Buffer
+	stopping := make(chan struct{}, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			errLines.WriteString(sc.Text() + "\n")
+			if strings.Contains(sc.Text(), "stopping campaign") {
+				select {
+				case stopping <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+
+	// The journal file is truncated into existence when the campaign
+	// opens it; that is the signal the run is underway.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if _, err := os.Stat(journal); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill() //lint:errcheck-ok — test teardown
+			t.Fatalf("journal never created; stderr:\n%s", errLines.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stopping:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill() //lint:errcheck-ok — test teardown
+		t.Fatalf("graceful-stop message never appeared; stderr:\n%s", errLines.String())
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+
+	werr := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(werr, &ee) {
+		t.Fatalf("force-quit run exited cleanly (err %v); stderr:\n%s", werr, errLines.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130; stderr:\n%s", code, errLines.String())
+	}
+
+	// The interrupted campaign must leave no partial rendering behind...
+	if _, err := os.Stat(outFile); !os.IsNotExist(err) {
+		t.Fatalf("-out file exists after force quit (stat err %v)", err)
+	}
+	// ...and every journal line must be complete valid JSON.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range bytes.Split(raw, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			t.Fatalf("journal line %d corrupt after force quit: %q", i+1, line)
+		}
+	}
+}

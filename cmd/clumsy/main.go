@@ -168,6 +168,8 @@ func run(args []string, w io.Writer) (err error) {
 	faulty := fs.Int("faulty", -1, "fleet: hostile node count for one fleet simulation (-1 = run the degradation study instead)")
 	dispatchPolicy := fs.String("dispatch", "", "fleet: dispatch policy, flow (default) or least")
 	shape := fs.String("shape", "", "workload-v2 temporal shape: steady, diurnal, flash, or onoff (empty = canonical trace)")
+	shape2 := fs.String("shape2", "", "workload-v2 stacked shape multiplied onto -shape, mean rate renormalized to 1 (empty = no stacking)")
+	periods2 := fs.Int("periods2", 0, "cycle count of the -shape2 profile (0 = that shape's default)")
 	adversarial := fs.Float64("adversarial", 0, "workload-v2 malformed-packet fraction (truncated/fuzzed wire images)")
 	churn := fs.Float64("churn", 0, "workload-v2 flow-churn fraction (each churned packet gets a fresh flow identity)")
 	scrub := fs.Int("scrub", 0, "flow-table scrub interval in packets for stateful apps (0 = default, negative = disabled)")
@@ -243,7 +245,7 @@ func run(args []string, w io.Writer) (err error) {
 		stateStr:    *stateStrikes,
 		args:        fs.Args(),
 	}
-	if *shape != "" || *adversarial > 0 || *churn > 0 {
+	if *shape != "" || *shape2 != "" || *adversarial > 0 || *churn > 0 {
 		sh := workload.ShapeSteady
 		if *shape != "" {
 			var perr error
@@ -251,7 +253,15 @@ func run(args []string, w io.Writer) (err error) {
 				return perr
 			}
 		}
-		o.wl = &workload.Spec{Shape: sh, Adversarial: *adversarial, Churn: *churn}
+		sh2 := workload.ShapeSteady
+		if *shape2 != "" {
+			var perr error
+			if sh2, perr = workload.ParseShape(*shape2); perr != nil {
+				return perr
+			}
+		}
+		o.wl = &workload.Spec{Shape: sh, Shape2: sh2, Periods2: *periods2,
+			Adversarial: *adversarial, Churn: *churn}
 	}
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "cr" {
@@ -964,6 +974,10 @@ workload v2 (run/stats/fleet commands):
                          fleet runs modulate arrival gaps by the shape, batch
                          runs keep the trace order but scale the adversarial
                          and churn pressure with the local intensity
+  -shape2 S              stack a second shape multiplicatively on -shape
+                         (e.g. on/off bursts riding a diurnal swing); the
+                         product is renormalized so the mean rate stays 1
+  -periods2 N            cycle count for the -shape2 profile (0 = default)
   -adversarial X         fraction of packets replaced by malformed wire images
                          (truncated headers, fuzzed header fields)
   -churn X               fraction of packets rewritten into fresh one-packet

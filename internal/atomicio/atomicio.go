@@ -30,20 +30,22 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 			os.Remove(tmp.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
 		}
 	}()
-	bw := bufio.NewWriterSize(tmp, 1<<16)
+	// All primitive operations route through the fault-injection hooks in
+	// fault.go; with no injector armed they are the plain os.File calls.
+	bw := bufio.NewWriterSize(faultFile{tmp}, 1<<16)
 	if err = write(bw); err != nil {
 		return err
 	}
 	if err = bw.Flush(); err != nil {
 		return fmt.Errorf("atomicio: flush %s: %w", path, err)
 	}
-	if err = tmp.Sync(); err != nil {
+	if err = faultySync(tmp); err != nil {
 		return fmt.Errorf("atomicio: fsync %s: %w", path, err)
 	}
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("atomicio: close %s: %w", path, err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = faultyRename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("atomicio: rename %s: %w", path, err)
 	}
 	syncDir(dir)
@@ -72,6 +74,7 @@ type File struct {
 	f    *os.File
 	path string
 	done bool
+	werr error // first write failure; Close refuses to publish after one
 }
 
 // Create opens a streaming atomic file that will become path on Close.
@@ -84,7 +87,13 @@ func Create(path string) (*File, error) {
 }
 
 // Write appends to the temporary file.
-func (a *File) Write(p []byte) (int, error) { return a.f.Write(p) }
+func (a *File) Write(p []byte) (int, error) {
+	n, err := faultyWrite(a.f, p)
+	if err != nil && a.werr == nil {
+		a.werr = err
+	}
+	return n, err
+}
 
 // Close fsyncs the temporary file and renames it to the final path. It is
 // idempotent; after the first successful Close further calls return nil.
@@ -93,7 +102,15 @@ func (a *File) Close() error {
 		return nil
 	}
 	a.done = true
-	if err := a.f.Sync(); err != nil {
+	if a.werr != nil {
+		// A write already failed: the temp file is a known-truncated
+		// stream. Publishing it under the final name would trade the
+		// previous complete file for a partial one, so discard instead.
+		a.f.Close()           //lint:errcheck-ok — discarding a failed stream
+		os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup
+		return fmt.Errorf("atomicio: not publishing %s after failed write: %w", a.path, a.werr)
+	}
+	if err := faultySync(a.f); err != nil {
 		a.f.Close()           //lint:errcheck-ok — already failing, the remove below is the cleanup
 		os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
 		return fmt.Errorf("atomicio: fsync %s: %w", a.path, err)
@@ -102,7 +119,7 @@ func (a *File) Close() error {
 		os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
 		return fmt.Errorf("atomicio: close %s: %w", a.path, err)
 	}
-	if err := os.Rename(a.f.Name(), a.path); err != nil {
+	if err := faultyRename(a.f.Name(), a.path); err != nil {
 		os.Remove(a.f.Name()) //lint:errcheck-ok — best-effort cleanup on the error path
 		return fmt.Errorf("atomicio: rename %s: %w", a.path, err)
 	}

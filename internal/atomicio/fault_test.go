@@ -1,0 +1,191 @@
+package atomicio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// faultContent builds deterministic content large enough to span several
+// buffered writes (the WriteFile buffer is 64 KiB), so short-write
+// injection can land mid-stream.
+func faultContent(tag byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag ^ byte(i*7)
+	}
+	return b
+}
+
+// writeChunks emits content through w in several Write calls.
+func writeChunks(content []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		for len(content) > 0 {
+			n := 40 << 10
+			if n > len(content) {
+				n = len(content)
+			}
+			if _, err := w.Write(content[:n]); err != nil {
+				return err
+			}
+			content = content[n:]
+		}
+		return nil
+	}
+}
+
+// TestWriteFileFaultMatrix is the crash-safety acceptance matrix for
+// WriteFile: under every fault mode, at every injection point, for
+// several seeds, the target file must hold either the old bytes or the
+// new bytes in full — never a prefix, never a mix — and success/failure
+// must agree with the content observed.
+func TestWriteFileFaultMatrix(t *testing.T) {
+	defer SetInjector(nil)
+	oldBytes := faultContent(0x55, 130<<10)
+	newBytes := faultContent(0xaa, 150<<10)
+	for _, mode := range []FaultMode{FaultShortWrite, FaultSyncErr, FaultENOSPC, FaultTornRename} {
+		for op := int64(1); op <= 4; op++ {
+			for seed := uint64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/op%d/seed%d", mode, op, seed)
+				t.Run(name, func(t *testing.T) {
+					dir := t.TempDir()
+					path := filepath.Join(dir, "target.bin")
+					if err := os.WriteFile(path, oldBytes, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					SetInjector(&Injector{Mode: mode, Op: op, Seed: seed})
+					err := WriteFile(path, writeChunks(newBytes))
+					SetInjector(nil)
+
+					got, rerr := os.ReadFile(path)
+					if rerr != nil {
+						t.Fatalf("target unreadable after injected fault: %v", rerr)
+					}
+					isOld := bytes.Equal(got, oldBytes)
+					isNew := bytes.Equal(got, newBytes)
+					if !isOld && !isNew {
+						t.Fatalf("target is neither the old nor the new bytes (len %d, old %d, new %d)",
+							len(got), len(oldBytes), len(newBytes))
+					}
+					if err == nil && !isNew {
+						t.Fatal("WriteFile reported success but the target holds the old bytes")
+					}
+					if err != nil && !isOld {
+						t.Fatalf("WriteFile failed (%v) but the target was replaced", err)
+					}
+					// The error path must not leak temp files into the
+					// directory.
+					entries, derr := os.ReadDir(dir)
+					if derr != nil {
+						t.Fatal(derr)
+					}
+					if len(entries) != 1 {
+						var names []string
+						for _, e := range entries {
+							names = append(names, e.Name())
+						}
+						t.Fatalf("stray files left next to the target: %v", names)
+					}
+					// An op index beyond the operations WriteFile performs
+					// must not fire at all.
+					wantFault := op <= opsOf(mode)
+					if wantFault && err == nil {
+						t.Fatalf("fault %s at op %d did not fire", mode, op)
+					}
+					if !wantFault && err != nil {
+						t.Fatalf("no eligible op %d for %s, yet WriteFile failed: %v", op, mode, err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// opsOf counts the eligible operations a single 150 KiB WriteFile
+// performs per mode: three buffered flushes (64+64+22 KiB), one fsync,
+// one rename.
+func opsOf(mode FaultMode) int64 {
+	switch mode.kind() {
+	case opWrite:
+		return 3
+	case opSync:
+		return 1
+	case opRename:
+		return 1
+	}
+	return 0
+}
+
+// TestStreamingFileFaultMatrix runs the same old-or-new invariant over
+// the streaming File path (journal traces, profiles): an injected fault
+// during Write or Close must leave the previous target intact.
+func TestStreamingFileFaultMatrix(t *testing.T) {
+	defer SetInjector(nil)
+	oldBytes := []byte("previous complete file\n")
+	newBytes := faultContent(0x3c, 90<<10)
+	for _, mode := range []FaultMode{FaultShortWrite, FaultSyncErr, FaultENOSPC, FaultTornRename} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", mode, seed), func(t *testing.T) {
+				dir := t.TempDir()
+				path := filepath.Join(dir, "stream.jsonl")
+				if err := os.WriteFile(path, oldBytes, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				SetInjector(&Injector{Mode: mode, Op: 1, Seed: seed})
+				f, err := Create(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, werr := f.Write(newBytes)
+				cerr := f.Close()
+				if werr != nil {
+					f.Abort()
+				}
+				SetInjector(nil)
+
+				got, rerr := os.ReadFile(path)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				switch {
+				case bytes.Equal(got, oldBytes):
+					if werr == nil && cerr == nil {
+						t.Fatal("Close succeeded but target still holds the old bytes")
+					}
+				case bytes.Equal(got, newBytes):
+					if werr != nil || cerr != nil {
+						t.Fatalf("write/close failed (%v, %v) but target was replaced", werr, cerr)
+					}
+				default:
+					t.Fatalf("target is neither old nor new (len %d)", len(got))
+				}
+			})
+		}
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	inj, err := ParseFault("tornrename:2:7:crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Mode != FaultTornRename || inj.Op != 2 || inj.Seed != 7 || !inj.Crash {
+		t.Fatalf("parsed %+v", inj)
+	}
+	inj, err = ParseFault("shortwrite:1:0")
+	if err != nil || inj.Crash {
+		t.Fatalf("parse without crash: %+v, %v", inj, err)
+	}
+	for _, bad := range []string{"", "shortwrite", "shortwrite:0:1", "shortwrite:1:x", "bogus:1:1", "shortwrite:1:1:boom"} {
+		if _, err := ParseFault(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if !strings.Contains(FaultShortWrite.String(), "shortwrite") {
+		t.Error("mode String drifted from ParseFault spelling")
+	}
+}

@@ -205,6 +205,43 @@ func TestCompareMismatchedCases(t *testing.T) {
 	}
 }
 
+// TestCompareCoverageRows: added, removed, and incomparable cases must
+// appear as explicit rows in the delta table and be tallied in the
+// verdict — never silently skipped.
+func TestCompareCoverageRows(t *testing.T) {
+	old, new_ := twoSnapshots(1)
+	new_.Cases[0].Packets = 400 // quick vs full: incomparable
+	new_.Cases = append(new_.Cases, Case{Name: "sim/new/only", Samples: 1})
+	old.Cases = append(old.Cases, Case{Name: "sim/old/only", Samples: 1})
+	cmp := Compare(old, new_, 0.10)
+
+	var buf bytes.Buffer
+	if err := cmp.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"sim/new/only", "(case added)",
+		"sim/old/only", "(case removed)",
+		"sim/route/abort/paper (packets 100 vs 400)", "(incomparable)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("comparison table missing %q:\n%s", frag, out)
+		}
+	}
+	v := cmp.Verdict()
+	for _, frag := range []string{"1 case(s) added", "1 case(s) removed", "1 case(s) incomparable"} {
+		if !strings.Contains(v, frag) {
+			t.Errorf("verdict missing %q: %q", frag, v)
+		}
+	}
+	// A fully covered diff keeps its verdict clean.
+	o2, n2 := twoSnapshots(1)
+	if v := Compare(o2, n2, 0.10).Verdict(); strings.Contains(v, "case(s)") {
+		t.Errorf("clean comparison verdict mentions coverage: %q", v)
+	}
+}
+
 // TestRunSimCase runs one real matrix cell at reduced scale and checks the
 // measured metrics are present and sane.
 func TestRunSimCase(t *testing.T) {

@@ -128,26 +128,41 @@ func (c *Comparison) Regressions() []Delta {
 	return out
 }
 
-// Verdict is the one-line summary: PASS/FAIL, regression count, and the
-// worst offender.
+// Verdict is the one-line summary: PASS/FAIL, regression count, the
+// worst offender, and an explicit tally of cases the diff could not
+// cover (added, removed, or incomparable between the snapshots).
 func (c *Comparison) Verdict() string {
 	regs := c.Regressions()
+	var v string
 	if len(regs) == 0 {
-		return fmt.Sprintf("PASS: no tracked metric regressed beyond %.0f%% across %d compared metrics",
+		v = fmt.Sprintf("PASS: no tracked metric regressed beyond %.0f%% across %d compared metrics",
 			c.Threshold*100, len(c.Deltas))
-	}
-	worst := regs[0]
-	for _, d := range regs[1:] {
-		if math.Abs(d.Pct) > math.Abs(worst.Pct) {
-			worst = d
+	} else {
+		worst := regs[0]
+		for _, d := range regs[1:] {
+			if math.Abs(d.Pct) > math.Abs(worst.Pct) {
+				worst = d
+			}
 		}
+		v = fmt.Sprintf("FAIL: %d metric(s) regressed beyond %.0f%% (worst: %s %s %+.1f%%)",
+			len(regs), c.Threshold*100, worst.Case, worst.Metric, worst.Pct*100)
 	}
-	return fmt.Sprintf("FAIL: %d metric(s) regressed beyond %.0f%% (worst: %s %s %+.1f%%)",
-		len(regs), c.Threshold*100, worst.Case, worst.Metric, worst.Pct*100)
+	if n := len(c.OnlyNew); n > 0 {
+		v += fmt.Sprintf("; %d case(s) added", n)
+	}
+	if n := len(c.OnlyOld); n > 0 {
+		v += fmt.Sprintf("; %d case(s) removed", n)
+	}
+	if n := len(c.Incomparable); n > 0 {
+		v += fmt.Sprintf("; %d case(s) incomparable", n)
+	}
+	return v
 }
 
-// WriteText renders the comparison as a table: every regression, plus any
-// non-gating movement beyond the threshold for context.
+// WriteText renders the comparison as a table: every regression, any
+// non-gating movement beyond the threshold for context, and an explicit
+// row for every case the diff could not cover — added, removed, or
+// incomparable cases never disappear silently from the report.
 func (c *Comparison) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "%-34s %-30s %12s %12s %8s\n",
 		"case", "metric", "old", "new", "delta"); err != nil {
@@ -174,18 +189,22 @@ func (c *Comparison) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	for _, name := range c.OnlyOld {
-		if _, err := fmt.Fprintf(w, "only in old snapshot: %s\n", name); err != nil {
+	coverageRow := func(name, status, oldCol, newCol string) error {
+		_, err := fmt.Fprintf(w, "%-34s %-30s %12s %12s %8s\n", name, status, oldCol, newCol, "-")
+		return err
+	}
+	for _, name := range c.OnlyNew {
+		if err := coverageRow(name, "(case added)", "-", "present"); err != nil {
 			return err
 		}
 	}
-	for _, name := range c.OnlyNew {
-		if _, err := fmt.Fprintf(w, "only in new snapshot: %s\n", name); err != nil {
+	for _, name := range c.OnlyOld {
+		if err := coverageRow(name, "(case removed)", "present", "-"); err != nil {
 			return err
 		}
 	}
 	for _, name := range c.Incomparable {
-		if _, err := fmt.Fprintf(w, "incomparable: %s\n", name); err != nil {
+		if err := coverageRow(name, "(incomparable)", "-", "-"); err != nil {
 			return err
 		}
 	}

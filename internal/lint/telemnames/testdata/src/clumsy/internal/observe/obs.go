@@ -18,4 +18,6 @@ func instrument(reg *telemetry.Registry, dyn string) {
 	reg.Counter(telemetry.CtrClusterArrivals).Inc()               // fleet counter constant: ok
 	reg.Histogram(telemetry.HistClusterLatency).Observe(1)        // fleet histogram constant: ok
 	reg.Counter("cluster.arrivles").Inc()                         // want `unregistered telemetry counter name "cluster.arrivles"`
+	reg.Counter(telemetry.CtrServiceQueueRejections).Inc()        // clumsyd service counter constant: ok
+	reg.Counter("service.queue_rejectons").Inc()                  // want `unregistered telemetry counter name "service.queue_rejectons"`
 }

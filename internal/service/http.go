@@ -1,0 +1,124 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// API:
+//
+//	GET  /healthz            liveness — 200 while the process serves
+//	GET  /readyz             readiness — 503 once draining
+//	GET  /metrics            Prometheus text format, service.* included
+//	POST /campaigns          submit a Spec; 202 + Status, 400 on a bad
+//	                         spec, 429 + Retry-After under backpressure,
+//	                         503 while draining
+//	GET  /campaigns          list all campaigns in submission order
+//	GET  /campaigns/{id}     one campaign's status
+//	GET  /campaigns/{id}/result  the published result of a completed run
+//	POST /campaigns/{id}/cancel  cancel a queued or running campaign
+
+// retryAfterSeconds is the hint sent with 429 responses.
+const retryAfterSeconds = 5
+
+// Handler serves the control-plane API for the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.tel.Registry.WritePrometheus(w) //lint:errcheck-ok — ResponseWriter errors are the client's problem
+	})
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResponse(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, ErrNotFound.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSONResponse(w, http.StatusOK, c.status())
+	})
+	mux.HandleFunc("GET /campaigns/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, ErrNotFound.Error(), http.StatusNotFound)
+			return
+		}
+		if c.currentState() != StateCompleted {
+			http.Error(w, "service: campaign has no published result", http.StatusConflict)
+			return
+		}
+		b, err := c.Result()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(b) //lint:errcheck-ok — ResponseWriter errors are the client's problem
+	})
+	mux.HandleFunc("POST /campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		err := s.Cancel(r.PathValue("id"))
+		if errors.Is(err, ErrNotFound) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		c, _ := s.Get(r.PathValue("id"))
+		writeJSONResponse(w, http.StatusOK, c.status())
+	})
+	return mux
+}
+
+// handleSubmit admits one campaign, mapping the scheduler's sentinel
+// errors onto backpressure status codes.
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		http.Error(w, fmt.Sprintf("service: bad spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	st, err := s.Submit(sp)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSONResponse(w, http.StatusAccepted, st)
+}
+
+// writeJSONResponse renders v as the response body.
+func writeJSONResponse(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //lint:errcheck-ok — ResponseWriter errors are the client's problem
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clumsy/internal/atomicio"
+)
+
+// On-disk layout. Everything under DataDir/campaigns/<id>/:
+//
+//	spec.json     the submitted Spec, written atomically before the
+//	              submission is acknowledged — a campaign either exists
+//	              with its full spec or not at all
+//	journal.jsonl the campaign journal (internal/experiment), atomically
+//	              rewritten per completed grid cell
+//	result.txt    the rendered study output, written atomically only on
+//	              completion
+//	state.json    the terminal record (completed/failed/cancelled),
+//	              written atomically after result.txt
+//
+// Recovery rule: a directory with a valid spec.json and no state.json is
+// an incomplete campaign — whatever the daemon was doing when it died —
+// and is re-adopted with -resume semantics at startup. Every write is an
+// atomicio rename, so no kill point can produce a directory that parses
+// as anything other than "not yet submitted", "incomplete", or
+// "terminal".
+
+const (
+	specFile    = "spec.json"
+	journalFile = "journal.jsonl"
+	resultFile  = "result.txt"
+	stateFile   = "state.json"
+)
+
+// stateRecord is the persisted terminal state.
+type stateRecord struct {
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Restarts int    `json:"restarts,omitempty"`
+	Adopted  bool   `json:"adopted,omitempty"`
+}
+
+// campaignsDir returns the campaign root under the data directory.
+func campaignsDir(dataDir string) string { return filepath.Join(dataDir, "campaigns") }
+
+// journalPath returns a campaign's journal location.
+func (c *Campaign) journalPath() string { return filepath.Join(c.dir, journalFile) }
+
+// resultPath returns a campaign's published result location.
+func (c *Campaign) resultPath() string { return filepath.Join(c.dir, resultFile) }
+
+// writeJSON persists v atomically as pretty-printed JSON.
+func writeJSON(path string, v any) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
+}
+
+// persistSpec writes the campaign's spec.json, creating its directory.
+func (c *Campaign) persistSpec() error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return writeJSON(filepath.Join(c.dir, specFile), c.Spec)
+}
+
+// persistTerminal records the campaign's terminal state. It is the last
+// write of a campaign's lifecycle; a crash before it simply leaves the
+// campaign incomplete, and re-adoption recomputes the identical outcome
+// from the journal.
+func (c *Campaign) persistTerminal() error {
+	c.mu.Lock()
+	rec := stateRecord{State: c.state.String(), Error: c.errMsg, Restarts: c.restarts, Adopted: c.adopted}
+	c.mu.Unlock()
+	return writeJSON(filepath.Join(c.dir, stateFile), rec)
+}
+
+// Result returns the published result bytes of a completed campaign.
+func (c *Campaign) Result() ([]byte, error) { return os.ReadFile(c.resultPath()) }
+
+// loadCampaigns scans the data directory and rebuilds the campaign set:
+// terminal campaigns for listing, incomplete ones flagged for adoption.
+// Directories without a spec.json (a submission killed before its first
+// atomic write landed) are skipped. The returned slices are ordered by
+// campaign ID; maxID is the highest numeric ID seen.
+func loadCampaigns(dataDir string) (terminal, incomplete []*Campaign, maxID int, err error) {
+	root := campaignsDir(dataDir)
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil, 0, nil
+	}
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("service: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		if n, ok := parseID(name); ok && n > maxID {
+			maxID = n
+		}
+		raw, rerr := os.ReadFile(filepath.Join(dir, specFile))
+		if os.IsNotExist(rerr) {
+			continue // submission never acknowledged; not a campaign
+		}
+		if rerr != nil {
+			return nil, nil, 0, fmt.Errorf("service: %w", rerr)
+		}
+		var sp Spec
+		if jerr := json.Unmarshal(raw, &sp); jerr != nil {
+			return nil, nil, 0, fmt.Errorf("service: %s: %w", filepath.Join(dir, specFile), jerr)
+		}
+		c := &Campaign{ID: name, Spec: sp, dir: dir, done: make(chan struct{})}
+		sraw, serr := os.ReadFile(filepath.Join(dir, stateFile))
+		if os.IsNotExist(serr) {
+			// Incomplete: queued, running, or mid-publication when the
+			// process died. Adopt and resume from the journal.
+			c.state = StateQueued
+			c.adopted = true
+			incomplete = append(incomplete, c)
+			continue
+		}
+		if serr != nil {
+			return nil, nil, 0, fmt.Errorf("service: %w", serr)
+		}
+		var rec stateRecord
+		if jerr := json.Unmarshal(sraw, &rec); jerr != nil {
+			return nil, nil, 0, fmt.Errorf("service: %s: %w", filepath.Join(dir, stateFile), jerr)
+		}
+		st, perr := parseState(rec.State)
+		if perr != nil {
+			return nil, nil, 0, perr
+		}
+		c.state = st
+		c.errMsg = rec.Error
+		c.restarts = rec.Restarts
+		c.adopted = rec.Adopted
+		close(c.done)
+		terminal = append(terminal, c)
+	}
+	return terminal, incomplete, maxID, nil
+}
+
+// parseID extracts the numeric part of a "c000042"-style campaign ID.
+func parseID(name string) (int, bool) {
+	if !strings.HasPrefix(name, "c") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(name, "c"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// formatID renders a campaign ID.
+func formatID(n int) string { return fmt.Sprintf("c%06d", n) }

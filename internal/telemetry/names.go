@@ -45,62 +45,69 @@ type NameSpec struct {
 // through these constants (or the cache-level helper below); a raw string
 // literal that drifts from the table is a lint error.
 const (
-	CtrRunCount                = "run.count"
-	CtrRunFatal                = "run.fatal"
-	CtrRunPacketsProcessed     = "run.packets_processed"
-	CtrRunPacketsDropped       = "run.packets_dropped"
-	CtrRunInstructions         = "run.instructions"
-	CtrRunCycles               = "run.cycles"
-	CtrFaultReadInjected       = "fault.read_injected"
-	CtrFaultWriteInjected      = "fault.write_injected"
-	CtrFaultBurstEpisodes      = "fault.burst_episodes"
-	CtrFaultPermanentHits      = "fault.permanent_hits"
-	CtrCacheL1DLinesDisabled   = "cache.l1d.lines_disabled"
-	CtrRecoveryLineDisabled    = "recovery.line_disabled"
-	CtrRecoveryEscalations     = "recovery.escalations"
-	CtrRecoveryDetected        = "recovery.detected"
-	CtrRecoveryRetries         = "recovery.retries"
-	CtrRecoveryRecoveries      = "recovery.recoveries"
-	CtrRecoveryECCCorrected    = "recovery.ecc_corrected"
-	CtrRecoveryECCMiscorrected = "recovery.ecc_miscorrected"
-	CtrRecoveryContained       = "recovery.contained"
-	CtrRecoveryRestoredPages   = "recovery.restored_pages"
-	CtrFreqEpochs              = "freq.epochs"
-	CtrFreqUpTransitions       = "freq.up_transitions"
-	CtrFreqDownTransitions     = "freq.down_transitions"
-	CtrFreqSwitches            = "freq.switches"
-	CtrFreqPenaltyCycles       = "freq.penalty_cycles"
-	CtrWatchdogKills           = "watchdog.kills"
-	CtrCyclesCompute           = "cycles.compute"
-	CtrCyclesL1DStall          = "cycles.l1d_stall"
-	CtrCyclesL1IStall          = "cycles.l1i_stall"
-	CtrCyclesL2Stall           = "cycles.l2_stall"
-	CtrCyclesMemStall          = "cycles.mem_stall"
-	CtrCyclesRecovery          = "cycles.recovery"
-	CtrCyclesFreqPenalty       = "cycles.freq_penalty"
-	CtrExperimentRuns          = "experiment.runs"
-	CtrCampaignCellsDone       = "campaign.cells_done"
-	CtrCampaignCellsSkipped    = "campaign.cells_skipped"
-	CtrCampaignCellsRetried    = "campaign.cells_retried"
-	CtrCampaignCellsTimedOut   = "campaign.cells_timed_out"
-	CtrClusterArrivals         = "cluster.arrivals"
-	CtrClusterAdmitted         = "cluster.admitted"
-	CtrClusterShed             = "cluster.shed"
-	CtrClusterDispatched       = "cluster.dispatched"
-	CtrClusterCompleted        = "cluster.completed"
-	CtrClusterNodeDrops        = "cluster.node_drops"
-	CtrClusterRedispatched     = "cluster.failover_redispatched"
-	CtrClusterDegradations     = "cluster.degradations"
-	CtrClusterDrains           = "cluster.drains"
-	CtrClusterReclocks         = "cluster.reclocks"
-	CtrClusterProbations       = "cluster.probations"
-	CtrClusterRecoveries       = "cluster.recoveries"
-	CtrClusterDeaths           = "cluster.deaths"
-	CtrClusterSLOViolations    = "cluster.slo_violations"
-	CtrStateDetected           = "state.detected"
-	CtrStateEvictions          = "state.evictions"
-	CtrStateRebuilds           = "state.rebuilds"
-	CtrStateScrubs             = "state.scrubs"
+	CtrRunCount                  = "run.count"
+	CtrRunFatal                  = "run.fatal"
+	CtrRunPacketsProcessed       = "run.packets_processed"
+	CtrRunPacketsDropped         = "run.packets_dropped"
+	CtrRunInstructions           = "run.instructions"
+	CtrRunCycles                 = "run.cycles"
+	CtrFaultReadInjected         = "fault.read_injected"
+	CtrFaultWriteInjected        = "fault.write_injected"
+	CtrFaultBurstEpisodes        = "fault.burst_episodes"
+	CtrFaultPermanentHits        = "fault.permanent_hits"
+	CtrCacheL1DLinesDisabled     = "cache.l1d.lines_disabled"
+	CtrRecoveryLineDisabled      = "recovery.line_disabled"
+	CtrRecoveryEscalations       = "recovery.escalations"
+	CtrRecoveryDetected          = "recovery.detected"
+	CtrRecoveryRetries           = "recovery.retries"
+	CtrRecoveryRecoveries        = "recovery.recoveries"
+	CtrRecoveryECCCorrected      = "recovery.ecc_corrected"
+	CtrRecoveryECCMiscorrected   = "recovery.ecc_miscorrected"
+	CtrRecoveryContained         = "recovery.contained"
+	CtrRecoveryRestoredPages     = "recovery.restored_pages"
+	CtrFreqEpochs                = "freq.epochs"
+	CtrFreqUpTransitions         = "freq.up_transitions"
+	CtrFreqDownTransitions       = "freq.down_transitions"
+	CtrFreqSwitches              = "freq.switches"
+	CtrFreqPenaltyCycles         = "freq.penalty_cycles"
+	CtrWatchdogKills             = "watchdog.kills"
+	CtrCyclesCompute             = "cycles.compute"
+	CtrCyclesL1DStall            = "cycles.l1d_stall"
+	CtrCyclesL1IStall            = "cycles.l1i_stall"
+	CtrCyclesL2Stall             = "cycles.l2_stall"
+	CtrCyclesMemStall            = "cycles.mem_stall"
+	CtrCyclesRecovery            = "cycles.recovery"
+	CtrCyclesFreqPenalty         = "cycles.freq_penalty"
+	CtrExperimentRuns            = "experiment.runs"
+	CtrCampaignCellsDone         = "campaign.cells_done"
+	CtrCampaignCellsSkipped      = "campaign.cells_skipped"
+	CtrCampaignCellsRetried      = "campaign.cells_retried"
+	CtrCampaignCellsTimedOut     = "campaign.cells_timed_out"
+	CtrClusterArrivals           = "cluster.arrivals"
+	CtrClusterAdmitted           = "cluster.admitted"
+	CtrClusterShed               = "cluster.shed"
+	CtrClusterDispatched         = "cluster.dispatched"
+	CtrClusterCompleted          = "cluster.completed"
+	CtrClusterNodeDrops          = "cluster.node_drops"
+	CtrClusterRedispatched       = "cluster.failover_redispatched"
+	CtrClusterDegradations       = "cluster.degradations"
+	CtrClusterDrains             = "cluster.drains"
+	CtrClusterReclocks           = "cluster.reclocks"
+	CtrClusterProbations         = "cluster.probations"
+	CtrClusterRecoveries         = "cluster.recoveries"
+	CtrClusterDeaths             = "cluster.deaths"
+	CtrClusterSLOViolations      = "cluster.slo_violations"
+	CtrServiceCampaignsActive    = "service.campaigns_active"
+	CtrServiceCampaignsQueued    = "service.campaigns_queued"
+	CtrServiceCampaignsCompleted = "service.campaigns_completed"
+	CtrServiceCampaignsFailed    = "service.campaigns_failed"
+	CtrServiceCampaignsRestarted = "service.campaigns_restarted"
+	CtrServiceQueueRejections    = "service.queue_rejections"
+	CtrServiceRecoveriesOnStart  = "service.recoveries_on_start"
+	CtrStateDetected             = "state.detected"
+	CtrStateEvictions            = "state.evictions"
+	CtrStateRebuilds             = "state.rebuilds"
+	CtrStateScrubs               = "state.scrubs"
 )
 
 // Registered histogram names.
@@ -211,6 +218,13 @@ func init() {
 		{CtrClusterRecoveries, KindCounter, "nodes recovered from probation to healthy"},
 		{CtrClusterDeaths, KindCounter, "nodes declared dead and ejected from the fleet"},
 		{CtrClusterSLOViolations, KindCounter, "completed packets whose latency exceeded the SLO"},
+		{CtrServiceCampaignsActive, KindCounter, "campaigns entered the running state by a clumsyd supervisor"},
+		{CtrServiceCampaignsQueued, KindCounter, "campaigns accepted into the clumsyd submission queue"},
+		{CtrServiceCampaignsCompleted, KindCounter, "campaigns completed by clumsyd supervisors"},
+		{CtrServiceCampaignsFailed, KindCounter, "campaigns failed terminally after exhausting supervised restarts"},
+		{CtrServiceCampaignsRestarted, KindCounter, "supervised restart-with-resume attempts after a campaign failure"},
+		{CtrServiceQueueRejections, KindCounter, "campaign submissions rejected by queue backpressure (HTTP 429)"},
+		{CtrServiceRecoveriesOnStart, KindCounter, "incomplete campaigns re-adopted from their journals at clumsyd startup"},
 		{CtrStateDetected, KindCounter, "flow-record checksum mismatches detected by verified reads or scrub"},
 		{CtrStateEvictions, KindCounter, "corrupted flow records evicted (first recovery-ladder rung)"},
 		{CtrStateRebuilds, KindCounter, "corrupted flow records rebuilt from the golden shadow"},

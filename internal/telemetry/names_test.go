@@ -52,8 +52,8 @@ func TestNamesTableContents(t *testing.T) {
 			events++
 		}
 	}
-	// 56 scalar counters + 4 cache levels x 6 events.
-	if want := 56 + len(CacheLevels)*6; counters != want {
+	// 63 scalar counters + 4 cache levels x 6 events.
+	if want := 63 + len(CacheLevels)*6; counters != want {
 		t.Errorf("got %d registered counters, want %d", counters, want)
 	}
 	if hists != 4 {

@@ -16,6 +16,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"clumsy/internal/fault"
 	"clumsy/internal/packet"
@@ -81,6 +82,15 @@ type Spec struct {
 	// Periods is the number of shape cycles across the trace
 	// (0 = shape-specific default: 2 diurnal cycles, 8 on/off bursts).
 	Periods int
+	// Shape2 optionally stacks a second profile on the first: the local
+	// rate is the product of the two shapes, renormalized so the mean
+	// over the stream stays pinned at 1 (a diurnal swing with on/off
+	// bursts riding on it carries the same total load as either alone).
+	// ShapeSteady (the zero value) means no stacking.
+	Shape2 Shape
+	// Periods2 is the cycle count of the stacked shape (0 = that shape's
+	// default).
+	Periods2 int
 	// Adversarial is the fraction of packets replaced by malformed wire
 	// images: truncated headers and fuzzed header fields. Clamped to
 	// [0, 1].
@@ -92,25 +102,27 @@ type Spec struct {
 }
 
 // String renders the spec for journal Extra fingerprints and reports.
+// The stacked shape appears only when present, so every pre-stacking
+// fingerprint is unchanged.
 func (s Spec) String() string {
+	if s.Shape2 != ShapeSteady {
+		return fmt.Sprintf("%s+%s/adv=%.2f/churn=%.2f", s.Shape, s.Shape2, s.Adversarial, s.Churn)
+	}
 	return fmt.Sprintf("%s/adv=%.2f/churn=%.2f", s.Shape, s.Adversarial, s.Churn)
 }
 
 // IsZero reports whether the spec is the identity workload.
 func (s Spec) IsZero() bool {
-	return s.Shape == ShapeSteady && s.Adversarial == 0 && s.Churn == 0
+	return s.Shape == ShapeSteady && s.Shape2 == ShapeSteady && s.Adversarial == 0 && s.Churn == 0
 }
 
 // minRate keeps every profile strictly positive so arrival gaps stay
 // finite.
 const minRate = 0.25
 
-// periods returns the effective cycle count of the shape.
-func (s Spec) periods() int {
-	if s.Periods > 0 {
-		return s.Periods
-	}
-	switch s.Shape {
+// defaultPeriods returns a shape's default cycle count.
+func defaultPeriods(sh Shape) int {
+	switch sh {
 	case ShapeSteady, ShapeFlash:
 		return 1
 	case ShapeDiurnal:
@@ -121,22 +133,31 @@ func (s Spec) periods() int {
 	return 1
 }
 
-// RateAt returns the relative traffic intensity at fractional position
-// frac in [0, 1) of the stream. The mean over the stream is ~1, so a
-// fleet run with a shaped workload carries the same total load as the
-// steady baseline, redistributed in time.
-func (s Spec) RateAt(frac float64) float64 {
-	if frac < 0 {
-		frac = 0
-	} else if frac >= 1 {
-		frac = math.Nextafter(1, 0)
+// periods returns the effective cycle count of the primary shape.
+func (s Spec) periods() int {
+	if s.Periods > 0 {
+		return s.Periods
 	}
-	switch s.Shape {
+	return defaultPeriods(s.Shape)
+}
+
+// periods2 returns the effective cycle count of the stacked shape.
+func (s Spec) periods2() int {
+	if s.Periods2 > 0 {
+		return s.Periods2
+	}
+	return defaultPeriods(s.Shape2)
+}
+
+// shapeRate is one profile's raw closed-form intensity: mean 1 over
+// [0, 1) for every shape in isolation.
+func shapeRate(sh Shape, periods int, frac float64) float64 {
+	switch sh {
 	case ShapeSteady:
 		return 1
 	case ShapeDiurnal:
 		// 1 + 0.6 sin: swings 0.4x..1.6x, mean 1.
-		return 1 + 0.6*math.Sin(2*math.Pi*float64(s.periods())*frac)
+		return 1 + 0.6*math.Sin(2*math.Pi*float64(periods)*frac)
 	case ShapeFlash:
 		// A 10%-wide window mid-stream at 4x; baseline rescaled so the
 		// mean stays 1 (0.9*b + 0.1*4b = 1 => b = 10/13).
@@ -147,13 +168,65 @@ func (s Spec) RateAt(frac float64) float64 {
 		return base
 	case ShapeOnOff:
 		// Square wave: active half-period at 1.75x, idle at 0.25x.
-		phase := float64(s.periods()) * frac
+		phase := float64(periods) * frac
 		if phase-math.Floor(phase) < 0.5 {
 			return 1.75
 		}
 		return minRate
 	}
 	return 1
+}
+
+// stackNormPoints is the midpoint-rule resolution used to normalize a
+// stacked pair of shapes. 1<<12 points resolve the narrowest feature in
+// the closed-form profiles (the 10%-wide flash window) to ~0.02% error.
+const stackNormPoints = 1 << 12
+
+// stackKey identifies one stacked-shape combination for the norm cache.
+type stackKey struct {
+	s1, s2 Shape
+	p1, p2 int
+}
+
+// stackNorms caches the numerically computed mean of each stacked
+// product, so RateAt stays cheap on the arrival hot path.
+var stackNorms sync.Map // stackKey -> float64
+
+// stackNorm returns the mean of shape1*shape2 over [0, 1), computed once
+// per combination by the midpoint rule. Dividing the product by it pins
+// the stacked stream's mean rate back at 1: each shape alone conserves
+// load, but their product generally does not (the profiles correlate).
+func stackNorm(k stackKey) float64 {
+	if v, ok := stackNorms.Load(k); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := 0; i < stackNormPoints; i++ {
+		frac := (float64(i) + 0.5) / stackNormPoints
+		sum += shapeRate(k.s1, k.p1, frac) * shapeRate(k.s2, k.p2, frac)
+	}
+	norm := sum / stackNormPoints
+	stackNorms.Store(k, norm)
+	return norm
+}
+
+// RateAt returns the relative traffic intensity at fractional position
+// frac in [0, 1) of the stream. The mean over the stream is ~1 — for a
+// stacked pair the product is renormalized to keep it there — so a fleet
+// run with a shaped workload carries the same total load as the steady
+// baseline, redistributed in time.
+func (s Spec) RateAt(frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	} else if frac >= 1 {
+		frac = math.Nextafter(1, 0)
+	}
+	r := shapeRate(s.Shape, s.periods(), frac)
+	if s.Shape2 != ShapeSteady {
+		r *= shapeRate(s.Shape2, s.periods2(), frac)
+		r /= stackNorm(stackKey{s1: s.Shape, s2: s.Shape2, p1: s.periods(), p2: s.periods2()})
+	}
+	return r
 }
 
 // intensityAt is the local multiplier applied to the adversarial and

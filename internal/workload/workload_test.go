@@ -142,6 +142,62 @@ func TestRateAtMeanAndFloor(t *testing.T) {
 	}
 }
 
+// TestStackedRateConservation is the regression gate on shape stacking:
+// for every pair of stacked shapes the mean rate over the stream must
+// stay pinned at 1 — the product profile redistributes load in time, it
+// never adds or sheds any.
+func TestStackedRateConservation(t *testing.T) {
+	const samples = 10000
+	shapes := []Shape{ShapeSteady, ShapeDiurnal, ShapeFlash, ShapeOnOff}
+	for _, s1 := range shapes {
+		for _, s2 := range shapes {
+			for _, spec := range []Spec{
+				{Shape: s1, Shape2: s2},
+				{Shape: s1, Shape2: s2, Periods: 3, Periods2: 5},
+			} {
+				sum := 0.0
+				for i := 0; i < samples; i++ {
+					r := spec.RateAt((float64(i) + 0.5) / samples)
+					if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+						t.Fatalf("%s: rate %g is not strictly positive and finite", spec, r)
+					}
+					sum += r
+				}
+				if mean := sum / samples; math.Abs(mean-1) > 0.01 {
+					t.Errorf("%s: stacked mean rate %g, want ~1", spec, mean)
+				}
+			}
+		}
+	}
+}
+
+// TestStackedSpecIdentityAndFingerprint: a steady second shape is the
+// exact unstacked profile (and fingerprint), and a real stack shows up
+// in the fingerprint so journal keys distinguish it.
+func TestStackedSpecIdentityAndFingerprint(t *testing.T) {
+	plain := Spec{Shape: ShapeDiurnal}
+	stackedSteady := Spec{Shape: ShapeDiurnal, Shape2: ShapeSteady}
+	for i := 0; i < 100; i++ {
+		frac := float64(i) / 100
+		if plain.RateAt(frac) != stackedSteady.RateAt(frac) {
+			t.Fatalf("steady stack changed the profile at %g", frac)
+		}
+	}
+	if plain.String() != stackedSteady.String() {
+		t.Errorf("steady stack changed the fingerprint: %q vs %q", plain, stackedSteady)
+	}
+	stacked := Spec{Shape: ShapeDiurnal, Shape2: ShapeOnOff}
+	if got, want := stacked.String(), "diurnal+onoff/adv=0.00/churn=0.00"; got != want {
+		t.Errorf("stacked fingerprint = %q, want %q", got, want)
+	}
+	if stacked.IsZero() {
+		t.Error("stacked spec reported as identity")
+	}
+	if !(Spec{}).IsZero() {
+		t.Error("zero spec must stay the identity")
+	}
+}
+
 func TestChurnClampedAgainstAdversarial(t *testing.T) {
 	tr := baseTrace(t, 300)
 	// adv+churn > 1: churn gives way, and every packet is still mutated at
